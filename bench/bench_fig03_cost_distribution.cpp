@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 3: arithmetic-operation distribution of the four stereo
+ * matching DNNs across the pipeline stages — FE (conv), MO (conv),
+ * DR (deconv) and others.
+ *
+ * Paper reference points: conv + deconv account for over 99% of
+ * execution; deconvolution (DR) averages 38.2% (max ~50%).
+ */
+
+#include <cstdio>
+
+#include "dnn/zoo.hh"
+
+int
+main()
+{
+    using namespace asv::dnn;
+
+    std::printf("=== Fig. 3: stereo DNN op distribution (%%) ===\n\n");
+    std::printf("%-10s %10s %10s %12s %8s %14s\n", "network",
+                "FE(conv)", "MO(conv)", "DR(deconv)", "others",
+                "total-GMACs");
+
+    double avg_dr = 0;
+    const auto nets = zoo::stereoNetworks();
+    for (const auto &net : nets) {
+        const NetworkStats s = net.stats();
+        const double all = double(s.totalMacs + s.otherOps);
+        auto pct = [&](Stage st) {
+            auto it = s.macsByStage.find(st);
+            return it == s.macsByStage.end()
+                       ? 0.0
+                       : 100.0 * double(it->second) / all;
+        };
+        const double fe = pct(Stage::FeatureExtraction);
+        const double mo = pct(Stage::MatchingOptimization);
+        const double dr = pct(Stage::DisparityRefinement);
+        const double others = 100.0 - fe - mo - dr;
+        avg_dr += 100.0 * s.deconvFraction() / nets.size();
+        std::printf("%-10s %9.1f%% %9.1f%% %11.1f%% %7.1f%% %14.1f\n",
+                    net.name().c_str(), fe, mo, dr, others,
+                    s.totalMacs / 1e9);
+    }
+    std::printf("\ndeconv share of all ops, average: %.1f%% "
+                "(paper: 38.2%%)\n",
+                avg_dr);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 10: speedup and energy reduction of the three ASV variants
+ * (ISM, DCO, DCO+ISM) over the baseline accelerator, per stereo DNN
+ * and on average, at PW-4.
+ *
+ * Paper reference points: ISM 3.3x / 75%; DCO 1.57x / 38%;
+ * combined 4.9x / 85%.
+ */
+
+#include <cstdio>
+
+#include "core/asv_system.hh"
+#include "dnn/zoo.hh"
+
+int
+main()
+{
+    using namespace asv;
+    using core::SystemVariant;
+
+    sched::HardwareConfig hw;
+    const auto nets = dnn::zoo::stereoNetworks();
+
+    std::printf("=== Fig. 10: ASV variants vs baseline (PW-4) "
+                "===\n\n");
+    std::printf("%-10s %10s %10s %12s %10s %10s %12s\n", "network",
+                "DCO-spdup", "ISM-spdup", "DCO+ISM-sp",
+                "DCO-enrg%", "ISM-enrg%", "DCO+ISM-en%");
+
+    double sp[3] = {0, 0, 0}, en[3] = {0, 0, 0};
+    for (const auto &net : nets) {
+        const auto base =
+            core::simulateSystem(net, hw, SystemVariant::Baseline);
+        const SystemVariant variants[3] = {SystemVariant::DcoOnly,
+                                           SystemVariant::IsmOnly,
+                                           SystemVariant::IsmDco};
+        double row[6];
+        for (int i = 0; i < 3; ++i) {
+            const auto r =
+                core::simulateSystem(net, hw, variants[i]);
+            row[i] = base.average.seconds / r.average.seconds;
+            row[3 + i] = 100.0 * (1.0 - r.average.energyJ /
+                                            base.average.energyJ);
+            sp[i] += row[i] / nets.size();
+            en[i] += row[3 + i] / nets.size();
+        }
+        std::printf("%-10s %9.2fx %9.2fx %11.2fx %9.1f%% %9.1f%% "
+                    "%11.1f%%\n",
+                    net.name().c_str(), row[0], row[1], row[2],
+                    row[3], row[4], row[5]);
+    }
+    std::printf("%-10s %9.2fx %9.2fx %11.2fx %9.1f%% %9.1f%% "
+                "%11.1f%%\n",
+                "AVG", sp[0], sp[1], sp[2], en[0], en[1], en[2]);
+    std::printf("\npaper: DCO 1.57x/38%%, ISM 3.3x/75%%, "
+                "DCO+ISM 4.9x/85%%.\n");
+    return 0;
+}

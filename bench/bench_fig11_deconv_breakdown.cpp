@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig. 11: speedup and energy reduction of the deconvolution
+ * optimizations, teased apart as DCT (transformation only), ConvR
+ * (reuse optimizer without ILAR) and ILAR (full optimizer), on
+ * (a) the deconvolution layers alone and (b) the entire network,
+ * for the four stereo DNNs.
+ *
+ * Paper reference points: deconv-only speedup 3.9x (DCT) -> 5.6x
+ * (ILAR) on average, 7.7x for the 3-D networks; whole-network
+ * speedup 1.4x -> 1.6x; deconv-only energy reduction 62% (DCT),
+ * 73% (ConvR), 83% (ILAR); whole-network 38%.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "dnn/zoo.hh"
+#include "sim/accelerator.hh"
+
+int
+main()
+{
+    using namespace asv;
+
+    sched::HardwareConfig hw;
+    const std::vector<dnn::Network> nets =
+        dnn::zoo::stereoNetworks();
+
+    std::printf("=== Fig. 11: deconvolution optimization breakdown "
+                "===\n\n");
+    std::printf("(a) deconvolution layers only\n");
+    std::printf("%-10s %12s %12s %12s %14s %14s %14s\n", "network",
+                "DCT-speedup", "ConvR-spdup", "ILAR-spdup",
+                "DCT-energy-%", "ConvR-enrg-%", "ILAR-enrg-%");
+
+    double sp[3] = {0, 0, 0}, en[3] = {0, 0, 0};
+    double nsp[3] = {0, 0, 0}, nen[3] = {0, 0, 0};
+
+    std::vector<std::array<double, 12>> rows;
+    for (const auto &net : nets) {
+        const auto base =
+            sim::simulateNetwork(net, hw, sim::Variant::Baseline);
+        const sim::Variant variants[3] = {
+            sim::Variant::Dct, sim::Variant::ConvR,
+            sim::Variant::Ilar};
+        std::array<double, 12> row{};
+        for (int i = 0; i < 3; ++i) {
+            const auto c =
+                sim::simulateNetwork(net, hw, variants[i]);
+            row[i] = double(base.deconvCycles) / c.deconvCycles;
+            row[3 + i] =
+                100.0 * (1.0 - c.deconvEnergyJ /
+                                   base.deconvEnergyJ);
+            row[6 + i] = double(base.cycles) / c.cycles;
+            row[9 + i] = 100.0 * (1.0 - c.energy.total() /
+                                            base.energy.total());
+            sp[i] += row[i] / nets.size();
+            en[i] += row[3 + i] / nets.size();
+            nsp[i] += row[6 + i] / nets.size();
+            nen[i] += row[9 + i] / nets.size();
+        }
+        rows.push_back(row);
+        std::printf("%-10s %11.2fx %11.2fx %11.2fx %13.1f%% "
+                    "%13.1f%% %13.1f%%\n",
+                    net.name().c_str(), row[0], row[1], row[2],
+                    row[3], row[4], row[5]);
+    }
+    std::printf("%-10s %11.2fx %11.2fx %11.2fx %13.1f%% %13.1f%% "
+                "%13.1f%%\n",
+                "AVG", sp[0], sp[1], sp[2], en[0], en[1], en[2]);
+
+    std::printf("\n(b) entire network\n");
+    std::printf("%-10s %12s %12s %12s %14s %14s %14s\n", "network",
+                "DCT-speedup", "ConvR-spdup", "ILAR-spdup",
+                "DCT-energy-%", "ConvR-enrg-%", "ILAR-enrg-%");
+    for (size_t n = 0; n < nets.size(); ++n) {
+        const auto &row = rows[n];
+        std::printf("%-10s %11.2fx %11.2fx %11.2fx %13.1f%% "
+                    "%13.1f%% %13.1f%%\n",
+                    nets[n].name().c_str(), row[6], row[7], row[8],
+                    row[9], row[10], row[11]);
+    }
+    std::printf("%-10s %11.2fx %11.2fx %11.2fx %13.1f%% %13.1f%% "
+                "%13.1f%%\n",
+                "AVG", nsp[0], nsp[1], nsp[2], nen[0], nen[1],
+                nen[2]);
+
+    std::printf("\npaper: deconv-only avg 3.9x/5.6x/5.6x speedup, "
+                "62%%/73%%/83%% energy;\n"
+                "       whole-net avg 1.4x/1.6x/1.6x speedup, "
+                "38%% energy (full DCO).\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 12: sensitivity of the DCO speedup and energy reduction to
+ * the PE-array size (8x8 ... 56x56) and on-chip buffer size
+ * (0.5 ... 3.0 MB), on FlowNetC. Each cell is normalized to the
+ * *same hardware configuration* running the baseline (not to one
+ * common baseline), exactly as in the paper.
+ *
+ * Paper reference points: speedups 1.2x-1.5x and energy reductions
+ * 25%-35% across the grid; gains are larger for small PE arrays
+ * (compute-bound) and shrink as the buffer grows (reuse comes for
+ * free).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "dnn/zoo.hh"
+#include "sim/accelerator.hh"
+
+int
+main()
+{
+    using namespace asv;
+
+    const auto net = dnn::zoo::buildFlowNetC();
+    const std::vector<int> pe_sizes = {8, 16, 24, 32, 40, 48, 56};
+    const std::vector<double> buf_mb = {0.5, 1.0, 1.5,
+                                        2.0, 2.5, 3.0};
+
+    std::printf("=== Fig. 12a: DCO speedup vs PE size x buffer "
+                "(FlowNetC) ===\n\n%8s", "buf\\PE");
+    for (int pe : pe_sizes)
+        std::printf(" %5dx%-3d", pe, pe);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> speedup, energy;
+    for (double mb : buf_mb) {
+        std::vector<double> sp_row, en_row;
+        for (int pe : pe_sizes) {
+            sched::HardwareConfig hw;
+            hw.peRows = hw.peCols = pe;
+            hw.bufferBytes = int64_t(mb * 1024 * 1024);
+            const auto base = sim::simulateNetwork(
+                net, hw, sim::Variant::Baseline);
+            const auto opt =
+                sim::simulateNetwork(net, hw, sim::Variant::Ilar);
+            sp_row.push_back(double(base.cycles) / opt.cycles);
+            en_row.push_back(1.0 - opt.energy.total() /
+                                       base.energy.total());
+        }
+        speedup.push_back(sp_row);
+        energy.push_back(en_row);
+    }
+
+    for (size_t b = 0; b < buf_mb.size(); ++b) {
+        std::printf("%5.1fMB ", buf_mb[b]);
+        for (double v : speedup[b])
+            std::printf(" %8.2f ", v);
+        std::printf("\n");
+    }
+
+    std::printf("\n=== Fig. 12b: DCO energy reduction ===\n\n%8s",
+                "buf\\PE");
+    for (int pe : pe_sizes)
+        std::printf(" %5dx%-3d", pe, pe);
+    std::printf("\n");
+    for (size_t b = 0; b < buf_mb.size(); ++b) {
+        std::printf("%5.1fMB ", buf_mb[b]);
+        for (double v : energy[b])
+            std::printf(" %8.2f ", v);
+        std::printf("\n");
+    }
+    std::printf("\npaper: speedups 1.2x-1.5x, energy reductions "
+                "0.25-0.35 across the grid.\n");
+    return 0;
+}

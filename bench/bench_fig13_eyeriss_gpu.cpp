@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 13: ASV (DCO / ISM / DCO+ISM) versus Eyeriss and a mobile
+ * Pascal GPU, normalized to Eyeriss, averaged over the four stereo
+ * DNNs. Eyeriss also receives the deconvolution transformation
+ * ("Trans.") as a stronger baseline.
+ *
+ * Paper reference points: ASV 8.2x speedup / 0.16x energy vs
+ * Eyeriss; Eyeriss+DCT 1.6x / 0.69x vs plain Eyeriss; GPU 0.3x
+ * speed / 2.33x energy of Eyeriss; ASV 27x faster / 15x lower
+ * energy than GPU.
+ */
+
+#include <cstdio>
+
+#include "core/asv_system.hh"
+#include "dnn/zoo.hh"
+#include "sim/eyeriss.hh"
+#include "sim/gpu.hh"
+
+int
+main()
+{
+    using namespace asv;
+    using core::SystemVariant;
+
+    sched::HardwareConfig hw;
+    const auto nets = dnn::zoo::stereoNetworks();
+    const double n = double(nets.size());
+
+    // Per-frame seconds / joules averaged across networks.
+    double eyeriss_s = 0, eyeriss_j = 0;
+    double eyeriss_dct_s = 0, eyeriss_dct_j = 0;
+    double gpu_s = 0, gpu_j = 0;
+    double asv_s[3] = {0, 0, 0}, asv_j[3] = {0, 0, 0};
+
+    for (const auto &net : nets) {
+        const auto ey = sim::simulateEyeriss(net, hw, false);
+        const auto eyd = sim::simulateEyeriss(net, hw, true);
+        eyeriss_s += ey.seconds(hw) / n;
+        eyeriss_j += ey.energy.total() / n;
+        eyeriss_dct_s += eyd.seconds(hw) / n;
+        eyeriss_dct_j += eyd.energy.total() / n;
+
+        const auto gpu = sim::simulateGpu(net);
+        gpu_s += gpu.seconds / n;
+        gpu_j += gpu.energyJ / n;
+
+        const SystemVariant variants[3] = {SystemVariant::DcoOnly,
+                                           SystemVariant::IsmOnly,
+                                           SystemVariant::IsmDco};
+        for (int i = 0; i < 3; ++i) {
+            const auto r =
+                core::simulateSystem(net, hw, variants[i]);
+            asv_s[i] += r.average.seconds / n;
+            asv_j[i] += r.average.energyJ / n;
+        }
+    }
+
+    std::printf("=== Fig. 13: ASV vs Eyeriss vs GPU (normalized "
+                "to Eyeriss) ===\n\n");
+    std::printf("%-16s %10s %12s\n", "system", "speedup",
+                "norm-energy");
+    auto row = [&](const char *name, double s, double j) {
+        std::printf("%-16s %9.2fx %12.2f\n", name, eyeriss_s / s,
+                    j / eyeriss_j);
+    };
+    row("Eyeriss", eyeriss_s, eyeriss_j);
+    row("Eyeriss+Trans.", eyeriss_dct_s, eyeriss_dct_j);
+    row("GPU", gpu_s, gpu_j);
+    row("ASV-DCO", asv_s[0], asv_j[0]);
+    row("ASV-ISM", asv_s[1], asv_j[1]);
+    row("ASV-DCO+ISM", asv_s[2], asv_j[2]);
+
+    std::printf("\nASV vs GPU: %.1fx faster, %.1fx lower energy "
+                "(paper: 27x, 15x)\n",
+                gpu_s / asv_s[2], gpu_j / asv_j[2]);
+    std::printf("paper: ASV 8.2x / 0.16, Eyeriss+Trans. 1.6x / "
+                "0.69, GPU 0.3x / 2.33.\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional kernels: the
+ * reference deconvolution vs the transformed execution (the wall
+ * clock counterpart of the op-count savings), Farnebäck flow, block
+ * matching and SGM.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "data/scene.hh"
+#include "deconv/transform.hh"
+#include "flow/farneback.hh"
+#include "stereo/block_matching.hh"
+#include "stereo/sgm.hh"
+#include "tensor/deconv.hh"
+
+namespace
+{
+
+using namespace asv;
+using tensor::DeconvSpec;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor
+randomTensor(Shape shape, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(std::move(shape));
+    for (auto &v : t.flat())
+        v = float(rng.uniformReal(-1, 1));
+    return t;
+}
+
+void
+BM_DeconvReference(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Tensor in = randomTensor({8, n, n}, 1);
+    Tensor w = randomTensor({8, 8, 4, 4}, 2);
+    const DeconvSpec spec = DeconvSpec::uniform(2, 2, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tensor::deconvNd(in, w, spec));
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DeconvReference)->Arg(16)->Arg(32);
+
+void
+BM_DeconvTransformed(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Tensor in = randomTensor({8, n, n}, 1);
+    Tensor w = randomTensor({8, 8, 4, 4}, 2);
+    const DeconvSpec spec = DeconvSpec::uniform(2, 2, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            deconv::transformedDeconv(in, w, spec));
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DeconvTransformed)->Arg(16)->Arg(32);
+
+void
+BM_FarnebackFlow(benchmark::State &state)
+{
+    Rng rng(3);
+    const int n = int(state.range(0));
+    image::Image a = data::makeTexture(n, n, 8.f, rng);
+    image::Image b = data::makeTexture(n, n, 8.f, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(flow::farnebackFlow(a, b));
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_FarnebackFlow)->Arg(64)->Arg(128);
+
+void
+BM_BlockMatchingFull(benchmark::State &state)
+{
+    Rng rng(4);
+    const int n = int(state.range(0));
+    image::Image left = data::makeTexture(n, n, 8.f, rng);
+    image::Image right = data::makeTexture(n, n, 8.f, rng);
+    stereo::BlockMatchingParams p;
+    p.maxDisparity = 32;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stereo::blockMatching(left, right, p));
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BlockMatchingFull)->Arg(64)->Arg(128);
+
+void
+BM_BlockMatchingGuided(benchmark::State &state)
+{
+    Rng rng(5);
+    const int n = int(state.range(0));
+    image::Image left = data::makeTexture(n, n, 8.f, rng);
+    image::Image right = data::makeTexture(n, n, 8.f, rng);
+    stereo::DisparityMap init(n, n);
+    init.fill(8.f);
+    stereo::BlockMatchingParams p;
+    p.maxDisparity = 32;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stereo::refineDisparity(left, right, init, 2, p));
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BlockMatchingGuided)->Arg(64)->Arg(128);
+
+void
+BM_Sgm(benchmark::State &state)
+{
+    Rng rng(6);
+    const int n = int(state.range(0));
+    image::Image left = data::makeTexture(n, n, 8.f, rng);
+    image::Image right = data::makeTexture(n, n, 8.f, rng);
+    stereo::SgmParams p;
+    p.maxDisparity = 32;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stereo::sgmCompute(left, right, p));
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Sgm)->Arg(64)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

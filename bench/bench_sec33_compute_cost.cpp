@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sec. 3.3 compute-cost table: arithmetic ops of one ISM non-key
+ * frame at qHD (960 x 540) versus one stereo DNN inference.
+ *
+ * Paper reference points: non-key frame ~87 Mops; stereo DNNs need
+ * 1e2x - 1e4x more arithmetic.
+ */
+
+#include <cstdio>
+
+#include "core/ism.hh"
+#include "dnn/zoo.hh"
+#include "flow/farneback.hh"
+#include "stereo/block_matching.hh"
+
+int
+main()
+{
+    using namespace asv;
+
+    core::IsmParams p;
+    p.flowScale = 4; // deployment configuration (Sec. 5.2)
+    p.blockRadius = 2;
+    p.refineRadius = 2;
+
+    const int w = 960, h = 540;
+    const int64_t non_key = core::nonKeyFrameOps(w, h, p);
+
+    const flow::FarnebackCost fc =
+        flow::farnebackCost(w / p.flowScale, h / p.flowScale,
+                            p.flowParams);
+    const int64_t bm = stereo::blockMatchingOps(
+        w, h, p.blockRadius, 2 * p.refineRadius + 1);
+
+    std::printf("=== Sec. 3.3: ISM non-key frame cost at qHD "
+                "===\n\n");
+    std::printf("optical flow (x2, %dx%d):  %8.1f Mops "
+                "(conv %.1f + pointwise %.1f)\n",
+                w / p.flowScale, h / p.flowScale,
+                2 * fc.total() / 1e6, 2 * fc.convOps / 1e6,
+                2 * fc.pointwiseOps / 1e6);
+    std::printf("correspondence scatter:    %8.1f Mops\n",
+                10.0 * w * h / 1e6);
+    std::printf("guided block matching:     %8.1f Mops "
+                "(5x5 blocks, +-%d window)\n",
+                bm / 1e6, p.refineRadius);
+    std::printf("TOTAL non-key frame:       %8.1f Mops "
+                "(paper: ~87 Mops)\n\n",
+                non_key / 1e6);
+
+    std::printf("%-10s %16s %18s\n", "DNN", "inference-GMACs",
+                "ratio vs non-key");
+    for (const auto &net : dnn::zoo::stereoNetworks()) {
+        const auto s = net.stats();
+        std::printf("%-10s %16.1f %17.0fx\n", net.name().c_str(),
+                    s.totalMacs / 1e9,
+                    double(s.totalMacs) / double(non_key));
+    }
+    std::printf("\npaper: DNN inference needs 1e2x-1e4x more "
+                "arithmetic than a non-key frame.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sec. 7.1 table: hardware area/power overhead of the ASV
+ * extensions over the baseline DNN accelerator.
+ *
+ * Paper reference points: +6.3% area and +2.3% power per PE for the
+ * absolute-difference datapath; scalar-unit extension for the two
+ * OF point-wise ops; overall overhead below 0.5% in both area and
+ * power.
+ */
+
+#include <cstdio>
+
+#include "sched/schedule.hh"
+#include "sim/overhead.hh"
+
+int
+main()
+{
+    using namespace asv;
+
+    sched::HardwareConfig hw;
+    const sim::OverheadReport r = sim::computeOverhead(hw);
+
+    std::printf("=== Sec. 7.1: ASV hardware overhead (16 nm) "
+                "===\n\n");
+    std::printf("PE array: %lld PEs\n",
+                static_cast<long long>(r.peCount));
+    std::printf("  baseline PE area:        %7.1f um^2\n",
+                r.peAreaUm2());
+    std::printf("  SAD extension per PE:    %7.1f um^2 (+%.1f%%)\n",
+                r.sadAreaUm2PerPe, 100.0 * r.sadAreaFracOfPe);
+    std::printf("  baseline PE power:       %7.2f mW\n",
+                r.pePowerMw());
+    std::printf("  SAD extension per PE:    %7.2f mW (+%.1f%%)\n",
+                r.sadPowerMwPerPe, 100.0 * r.sadPowerFracOfPe);
+    std::printf("scalar unit extension (compute-flow + "
+                "matrix-update):\n");
+    std::printf("  area:  %.4f mm^2,  power: %.1f mW\n",
+                r.scalarExtAreaMm2, r.scalarExtPowerMw);
+    std::printf("\ntotal accelerator:  %.1f mm^2, ~%.1f W\n",
+                r.totalAreaMm2, r.totalPowerMw / 1000.0);
+    std::printf("ASV extensions:     %.4f mm^2 (%.2f%%), "
+                "%.1f mW (%.2f%%)\n",
+                r.extAreaMm2(), r.areaOverheadPct(),
+                r.extPowerMw(), r.powerOverheadPct());
+    std::printf("\npaper: overall area and power overhead both "
+                "below 0.5%%.\n");
+    return 0;
+}

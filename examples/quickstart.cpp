@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Quickstart: the ASV public API in one tour.
+ *
+ * 1. Build a stereo DNN workload from the zoo and inspect its op
+ *    distribution (the Fig. 3 quantities).
+ * 2. Simulate it on the accelerator under the four variants
+ *    (Baseline / DCT / ConvR / ILAR).
+ * 3. Run the system-level simulation (ISM + DCO, Fig. 10).
+ * 4. Run the functional ISM pipeline on a tiny generated stereo
+ *    video and report its three-pixel error against ground truth.
+ */
+
+#include <cstdio>
+
+#include "core/asv_system.hh"
+#include "core/ism.hh"
+#include "data/oracle.hh"
+#include "data/scene.hh"
+#include "dnn/zoo.hh"
+#include "sim/accelerator.hh"
+
+int
+main()
+{
+    using namespace asv;
+
+    // ---- 1. Workload inspection -------------------------------
+    dnn::Network net = dnn::zoo::buildFlowNetC();
+    const dnn::NetworkStats stats = net.stats();
+    std::printf("network: %s\n", net.name().c_str());
+    std::printf("  layers:        %zu\n", net.numLayers());
+    std::printf("  total MACs:    %.2f G\n", stats.totalMacs / 1e9);
+    std::printf("  deconv MACs:   %.2f G (%.1f%% of all ops)\n",
+                stats.deconvMacs / 1e9,
+                100.0 * stats.deconvFraction());
+    std::printf("  deconv zeros:  %.1f%% of deconv MACs are wasted "
+                "on inserted zeros\n",
+                100.0 * stats.deconvZeroMacs /
+                    double(stats.deconvMacs));
+
+    // ---- 2. Accelerator variants ------------------------------
+    sched::HardwareConfig hw; // 24x24 PEs, 1.5 MB, Sec. 6.1
+    std::printf("\naccelerator: %dx%d PEs @ %.1f GHz, %.1f MB "
+                "SRAM, %.1f GB/s DRAM\n",
+                hw.peRows, hw.peCols, hw.clockGhz,
+                hw.bufferBytes / 1048576.0, hw.dramGbps);
+
+    const sim::NetworkCost base =
+        sim::simulateNetwork(net, hw, sim::Variant::Baseline);
+    for (auto v : {sim::Variant::Baseline, sim::Variant::Dct,
+                   sim::Variant::ConvR, sim::Variant::Ilar}) {
+        const sim::NetworkCost c = sim::simulateNetwork(net, hw, v);
+        std::printf("  %-8s %8.2f ms  %7.2f mJ  speedup %.2fx  "
+                    "energy -%.0f%%\n",
+                    sim::toString(v), 1e3 * c.seconds(hw),
+                    1e3 * c.energy.total(),
+                    double(base.cycles) / c.cycles,
+                    100.0 * (1.0 - c.energy.total() /
+                                       base.energy.total()));
+    }
+
+    // ---- 3. System level (ISM + DCO) --------------------------
+    std::printf("\nsystem variants (PW-4, qHD OF/BM):\n");
+    const core::SystemResult sys_base = core::simulateSystem(
+        net, hw, core::SystemVariant::Baseline);
+    for (auto v : {core::SystemVariant::Baseline,
+                   core::SystemVariant::IsmOnly,
+                   core::SystemVariant::DcoOnly,
+                   core::SystemVariant::IsmDco}) {
+        const core::SystemResult r =
+            core::simulateSystem(net, hw, v);
+        std::printf("  %-8s %8.2f ms/frame  %7.2f mJ/frame  "
+                    "%5.1f FPS  speedup %.2fx\n",
+                    core::toString(v), 1e3 * r.average.seconds,
+                    1e3 * r.average.energyJ, r.fps(),
+                    sys_base.average.seconds / r.average.seconds);
+    }
+
+    // ---- 4. Functional ISM on generated stereo video ----------
+    std::printf("\nfunctional ISM (PW-4) on a generated sequence:\n");
+    data::StereoSequence seq = data::generateSequence(
+        data::SceneConfig{}, 8, /*seed=*/42);
+
+    Rng rng(7);
+    const data::OracleModel oracle =
+        data::OracleModel::forNetwork("FlowNetC");
+    core::IsmParams params;
+    params.propagationWindow = 4;
+    // Key frames run "DNN inference": the calibrated oracle standing
+    // in for a trained network (see DESIGN.md substitution #1).
+    int frame_idx = 0;
+    core::IsmPipeline ism(
+        params, [&](const image::Image &, const image::Image &) {
+            return data::oracleInference(
+                seq.frames[frame_idx].gtDisparity, oracle, rng);
+        });
+
+    double worst = 0.0;
+    for (size_t t = 0; t < seq.frames.size(); ++t) {
+        frame_idx = static_cast<int>(t);
+        const auto &f = seq.frames[t];
+        const core::IsmFrameResult r =
+            ism.processFrame(f.left, f.right);
+        const double err = stereo::badPixelRate(
+            r.disparity, f.gtDisparity, 3.0, /*margin=*/6);
+        worst = std::max(worst, err);
+        std::printf("  frame %zu (%s): 3-pixel error %.2f%%"
+                    "  (%lld Mops)\n",
+                    t, r.keyFrame ? "key" : "non-key", err,
+                    static_cast<long long>(r.arithmeticOps / 1000000));
+    }
+    std::printf("  worst frame error: %.2f%%\n", worst);
+    return 0;
+}

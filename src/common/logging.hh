@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Logging and error-reporting primitives in the gem5 idiom.
+ *
+ * Two classes of error are distinguished (following gem5's
+ * base/logging.hh semantics):
+ *
+ *  - panic(): something happened that should never happen regardless of
+ *    user input, i.e. a bug in this library. Aborts.
+ *  - fatal(): the run cannot continue due to a user-side condition (bad
+ *    configuration, invalid arguments). Exits with an error code.
+ *
+ * warn() and inform() report conditions without stopping the run.
+ */
+
+#ifndef ASV_COMMON_LOGGING_HH
+#define ASV_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace asv
+{
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into a std::string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace asv
+
+/** Report an internal invariant violation (a library bug) and abort. */
+#define panic(...) \
+    ::asv::detail::panicImpl(__FILE__, __LINE__, \
+                             ::asv::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user-side error and exit(1). */
+#define fatal(...) \
+    ::asv::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::asv::detail::concat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define warn(...) \
+    ::asv::detail::warnImpl(__FILE__, __LINE__, \
+                            ::asv::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define inform(...) \
+    ::asv::detail::informImpl(::asv::detail::concat(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) { \
+            panic("panic condition (" #cond ") occurred: ", \
+                  ::asv::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** fatal() unless the condition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) { \
+            fatal("fatal condition (" #cond ") occurred: ", \
+                  ::asv::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // ASV_COMMON_LOGGING_HH

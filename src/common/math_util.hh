@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small integer/floating-point math helpers used across the library.
+ */
+
+#ifndef ASV_COMMON_MATH_UTIL_HH
+#define ASV_COMMON_MATH_UTIL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+
+namespace asv
+{
+
+/** Ceiling division for non-negative integers. */
+constexpr int64_t
+ceilDiv(int64_t num, int64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Round @p num up to the next multiple of @p mult. */
+constexpr int64_t
+roundUp(int64_t num, int64_t mult)
+{
+    return ceilDiv(num, mult) * mult;
+}
+
+/** Clamp @p v into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+/** True if |a - b| <= atol + rtol * |b|. */
+inline bool
+approxEqual(double a, double b, double atol = 1e-9, double rtol = 1e-6)
+{
+    return std::abs(a - b) <= atol + rtol * std::abs(b);
+}
+
+/** Integer power (small exponents). */
+constexpr int64_t
+ipow(int64_t base, int exp)
+{
+    int64_t r = 1;
+    for (int i = 0; i < exp; ++i)
+        r *= base;
+    return r;
+}
+
+/** Output size of a valid cross-correlation: in + 2*pad - k, stride s. */
+constexpr int64_t
+convOutSize(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/**
+ * Output size of a transposed convolution (deconvolution):
+ * (in - 1) * stride - 2 * pad + kernel.
+ */
+constexpr int64_t
+deconvOutSize(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    return (in - 1) * stride - 2 * pad + kernel;
+}
+
+} // namespace asv
+
+#endif // ASV_COMMON_MATH_UTIL_HH

@@ -1,0 +1,122 @@
+#include "core/asv_system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "stereo/block_matching.hh"
+
+namespace asv::core
+{
+
+const char *
+toString(SystemVariant v)
+{
+    switch (v) {
+      case SystemVariant::Baseline: return "Baseline";
+      case SystemVariant::IsmOnly: return "ISM";
+      case SystemVariant::DcoOnly: return "DCO";
+      case SystemVariant::IsmDco: return "DCO+ISM";
+    }
+    return "?";
+}
+
+FrameCost
+nonKeyFrameCost(const sched::HardwareConfig &hw,
+                const SystemConfig &cfg, const sim::EnergyModel &em)
+{
+    const int w = cfg.frameWidth, h = cfg.frameHeight;
+    const IsmParams &p = cfg.ism;
+
+    const int s = std::max(1, p.flowScale);
+    const int fw = std::max(16, w / s);
+    const int fh = std::max(16, h / s);
+
+    // Arithmetic split: convolution-like ops run on the PE array
+    // (MAC or SAD), point-wise ops on the scalar unit (Sec. 5.1).
+    const flow::FarnebackCost fc =
+        flow::farnebackCost(fw, fh, p.flowParams);
+    const int64_t pe_ops =
+        2 * fc.convOps +
+        stereo::blockMatchingOps(w, h, p.blockRadius,
+                                 2 * p.refineRadius + 1);
+    const int64_t scalar_ops =
+        2 * fc.pointwiseOps + int64_t(10) * w * h;
+
+    // PE array time: OF/BM layers are small and irregular; charge
+    // Eq. 6 style with per-pass fill/drain overheads (one pass per
+    // blur direction and per BM row block, approximated as 64
+    // passes).
+    const int64_t fill_drain = (hw.peRows + hw.peCols) * 64;
+    const int64_t pe_cycles =
+        ceilDiv(pe_ops, hw.peCount()) + fill_drain;
+
+    const double scalar_per_cycle =
+        hw.scalarLanes * (hw.scalarClockGhz / hw.clockGhz);
+    const int64_t scalar_cycles = int64_t(
+        std::ceil(double(scalar_ops) / scalar_per_cycle));
+
+    // DRAM traffic: current + key frame pixels, motion vectors and
+    // the disparity maps; the global buffer keeps the rest resident
+    // (>= 512 KB floor, Sec. 5.2).
+    const int64_t frame_bytes = int64_t(w) * h * hw.bytesPerElem;
+    const int64_t traffic = 6 * frame_bytes;
+    const int64_t mem_cycles = int64_t(
+        std::ceil(double(traffic) / hw.dramBytesPerCycle()));
+
+    // The scalar unit serializes with the PE array between OF
+    // stages; memory overlaps with compute.
+    const int64_t cycles =
+        std::max(pe_cycles, mem_cycles) + scalar_cycles;
+
+    FrameCost fc_out;
+    fc_out.seconds = double(cycles) / (hw.clockGhz * 1e9);
+    fc_out.energyJ =
+        double(pe_ops) * (em.macPj + em.rfPjPerMac) * 1e-12 +
+        double(scalar_ops) * em.scalarOpPj * 1e-12 +
+        double(traffic) * em.dramPjPerByte * 1e-12 +
+        double(traffic + 4 * frame_bytes) * em.sramPjPerByte *
+            1e-12 +
+        em.leakageWatts * fc_out.seconds;
+    return fc_out;
+}
+
+SystemResult
+simulateSystem(const dnn::Network &net,
+               const sched::HardwareConfig &hw,
+               SystemVariant variant, const SystemConfig &cfg,
+               const sim::EnergyModel &em)
+{
+    SystemResult r;
+    r.variant = variant;
+
+    const bool use_dco = variant == SystemVariant::DcoOnly ||
+                         variant == SystemVariant::IsmDco;
+    const bool use_ism = variant == SystemVariant::IsmOnly ||
+                         variant == SystemVariant::IsmDco;
+
+    r.dnnCost = sim::simulateNetwork(
+        net, hw, use_dco ? sim::Variant::Ilar : sim::Variant::Baseline,
+        em);
+    r.keyFrame.seconds = r.dnnCost.seconds(hw);
+    r.keyFrame.energyJ = r.dnnCost.energy.total();
+
+    if (use_ism) {
+        r.nonKeyFrame = nonKeyFrameCost(hw, cfg, em);
+        r.nonKeyOps = nonKeyFrameOps(cfg.frameWidth,
+                                     cfg.frameHeight, cfg.ism);
+        const int pw = cfg.ism.propagationWindow;
+        r.average.seconds =
+            (r.keyFrame.seconds + (pw - 1) * r.nonKeyFrame.seconds) /
+            pw;
+        r.average.energyJ =
+            (r.keyFrame.energyJ + (pw - 1) * r.nonKeyFrame.energyJ) /
+            pw;
+    } else {
+        r.average = r.keyFrame;
+    }
+    return r;
+}
+
+} // namespace asv::core

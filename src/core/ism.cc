@@ -1,0 +1,194 @@
+#include "core/ism.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "image/ops.hh"
+#include "stereo/postprocess.hh"
+
+namespace asv::core
+{
+
+IsmPipeline::IsmPipeline(IsmParams params, KeyFrameFn key_frame_source)
+    : IsmPipeline(params, std::move(key_frame_source),
+                  makeStaticSequencer(params.propagationWindow))
+{
+}
+
+IsmPipeline::IsmPipeline(IsmParams params, KeyFrameFn key_frame_source,
+                         std::unique_ptr<KeyFrameSequencer> sequencer)
+    : params_(std::move(params)),
+      keyFrameSource_(std::move(key_frame_source)),
+      sequencer_(std::move(sequencer))
+{
+    fatal_if(params_.propagationWindow < 1,
+             "propagation window must be >= 1");
+    fatal_if(!keyFrameSource_, "key-frame source is required");
+    fatal_if(!sequencer_, "key-frame sequencer is required");
+}
+
+void
+IsmPipeline::reset()
+{
+    frameIndex_ = 0;
+    prevLeft_ = image::Image();
+    prevRight_ = image::Image();
+    prevDisparity_ = stereo::DisparityMap();
+    sequencer_->reset();
+}
+
+flow::FlowField
+IsmPipeline::estimateFlow(const image::Image &from,
+                          const image::Image &to) const
+{
+    const int s = std::max(1, params_.flowScale);
+    if (params_.motion == MotionEstimator::BlockMatching)
+        return flow::blockMotion(from, to);
+    if (s == 1)
+        return flow::farnebackFlow(from, to, params_.flowParams);
+
+    // Motion at reduced resolution, upsampled and rescaled.
+    const int sw = std::max(16, from.width() / s);
+    const int sh = std::max(16, from.height() / s);
+    const image::Image f0 = image::resizeBilinear(from, sw, sh);
+    const image::Image f1 = image::resizeBilinear(to, sw, sh);
+    flow::FlowField small =
+        flow::farnebackFlow(f0, f1, params_.flowParams);
+
+    flow::FlowField full(from.width(), from.height());
+    full.u = image::resizeBilinear(small.u, from.width(),
+                                   from.height());
+    full.v = image::resizeBilinear(small.v, from.width(),
+                                   from.height());
+    const float kx = float(from.width()) / sw;
+    const float ky = float(from.height()) / sh;
+    for (int64_t i = 0; i < full.u.size(); ++i) {
+        full.u.data()[i] *= kx;
+        full.v.data()[i] *= ky;
+    }
+    return full;
+}
+
+IsmFrameResult
+IsmPipeline::processFrame(const image::Image &left,
+                          const image::Image &right)
+{
+    panic_if(left.width() != right.width() ||
+                 left.height() != right.height(),
+             "stereo pair size mismatch");
+
+    IsmFrameResult result;
+    const bool is_key =
+        sequencer_->isKeyFrame(left, frameIndex_) ||
+        prevDisparity_.empty();
+    ++frameIndex_;
+
+    if (is_key) {
+        // Step 1: DNN inference on the key frame.
+        result.disparity = keyFrameSource_(left, right);
+        result.keyFrame = true;
+        result.arithmeticOps = 0; // charged to the DNN accelerator
+    } else {
+        const int w = left.width(), h = left.height();
+
+        // Step 3: propagate both sides by dense optical flow.
+        const flow::FlowField flow_l = estimateFlow(prevLeft_, left);
+        const flow::FlowField flow_r =
+            estimateFlow(prevRight_, right);
+
+        // Step 2 + 3: reconstruct correspondence pairs from the
+        // previous disparity map and move both endpoints.
+        stereo::DisparityMap init(w, h);
+        init.fill(stereo::kInvalidDisparity);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                const float d = prevDisparity_.at(x, y);
+                if (!stereo::isValidDisparity(d))
+                    continue;
+                const float xr = float(x) - d;
+                if (xr < 0)
+                    continue;
+
+                const float xl1 = x + flow_l.u.at(x, y);
+                const float yl1 = y + flow_l.v.at(x, y);
+                const float xr1 =
+                    xr + flow_r.u.sample(xr, float(y));
+                const float yr1 =
+                    float(y) + flow_r.v.sample(xr, float(y));
+                (void)yr1; // rectified pairs stay on the same row
+
+                const float d1 = xl1 - xr1;
+                const int tx = int(std::lround(xl1));
+                const int ty = int(std::lround(yl1));
+                if (tx < 0 || tx >= w || ty < 0 || ty >= h)
+                    continue;
+                if (d1 < 0 || d1 > float(params_.maxDisparity))
+                    continue;
+                // Nearest surface wins on collisions (occlusion).
+                if (!stereo::isValidDisparity(init.at(tx, ty)) ||
+                    d1 > init.at(tx, ty)) {
+                    init.at(tx, ty) = d1;
+                }
+            }
+        }
+
+        // Fill scatter holes from row neighbors so that the guided
+        // search has a seed everywhere possible.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (int y = 0; y < h; ++y) {
+                for (int xi = 0; xi < w; ++xi) {
+                    const int x = pass == 0 ? xi : w - 1 - xi;
+                    if (stereo::isValidDisparity(init.at(x, y)))
+                        continue;
+                    const int nx = pass == 0 ? x - 1 : x + 1;
+                    if (nx >= 0 && nx < w &&
+                        stereo::isValidDisparity(init.at(nx, y)))
+                        init.at(x, y) = init.at(nx, y);
+                }
+            }
+        }
+
+        // Step 4: refine with a guided 1-D SAD search.
+        stereo::BlockMatchingParams bm;
+        bm.blockRadius = params_.blockRadius;
+        bm.maxDisparity = params_.maxDisparity;
+        result.disparity = stereo::refineDisparity(
+            left, right, init, params_.refineRadius, bm);
+        if (params_.medianPostprocess)
+            result.disparity =
+                stereo::medianFilter3x3(result.disparity);
+        result.keyFrame = false;
+        result.arithmeticOps =
+            nonKeyFrameOps(w, h, params_);
+    }
+
+    prevLeft_ = left;
+    prevRight_ = right;
+    prevDisparity_ = result.disparity;
+    return result;
+}
+
+int64_t
+nonKeyFrameOps(int width, int height, const IsmParams &p)
+{
+    const int s = std::max(1, p.flowScale);
+    const int fw = std::max(16, width / s);
+    const int fh = std::max(16, height / s);
+
+    // Two optical flows (left-left and right-right).
+    const flow::FarnebackCost fc =
+        flow::farnebackCost(fw, fh, p.flowParams);
+    int64_t ops = 2 * fc.total();
+
+    // Correspondence reconstruction + propagation scatter: ~10
+    // point ops per pixel (Sec. 3.3 calls this negligible).
+    ops += int64_t(10) * width * height;
+
+    // Guided refinement: (2r+1) candidates per pixel.
+    ops += stereo::blockMatchingOps(width, height, p.blockRadius,
+                                    2 * p.refineRadius + 1);
+    return ops;
+}
+
+} // namespace asv::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The invariant-based stereo matching (ISM) algorithm (Sec. 3).
+ *
+ * ISM exploits the correspondence invariant: two pixels that are
+ * projections of the same scene point remain a matched pair in every
+ * frame, wherever they move. The pipeline (Fig. 5):
+ *
+ *  1. DNN inference on key frames produces a disparity map (here a
+ *     pluggable key-frame source — data::oracleInference in the
+ *     experiments, or any user-supplied stereo matcher).
+ *  2. Reconstruct correspondences: every left pixel (x, y) with
+ *     disparity d pairs with right pixel (x - d, y).
+ *  3. Propagate correspondences to the next frame with dense optical
+ *     flow on the left and right videos independently (Farnebäck;
+ *     per-pixel motion, Sec. 3.3).
+ *  4. Refine: the propagated pair seeds a short 1-D block-matching
+ *     search (SAD) around the predicted disparity.
+ *
+ * Non-key frames therefore cost two (down-scaled) optical flows plus
+ * a tiny guided search instead of a full DNN inference — about 87 M
+ * arithmetic ops at qHD with the default parameters (Sec. 3.3),
+ * 10^2-10^4 x cheaper than stereo DNN inference.
+ */
+
+#ifndef ASV_CORE_ISM_HH
+#define ASV_CORE_ISM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/sequencer.hh"
+#include "flow/block_motion.hh"
+#include "flow/farneback.hh"
+#include "image/image.hh"
+#include "stereo/block_matching.hh"
+#include "stereo/disparity.hh"
+
+namespace asv::core
+{
+
+/**
+ * Motion-estimation algorithm used for correspondence propagation.
+ * The paper selects dense Farnebäck flow and rules out block
+ * matching for its block-granular vectors (Sec. 3.3); both are
+ * available so the choice can be measured (bench_ablation_ism).
+ */
+enum class MotionEstimator
+{
+    Farneback,     //!< dense per-pixel optical flow (the paper's)
+    BlockMatching, //!< classic block-granular motion
+};
+
+/** ISM algorithm parameters (Sec. 3.3 design decisions). */
+struct IsmParams
+{
+    int propagationWindow = 4; //!< PW: key frame every PW frames
+    int refineRadius = 2;      //!< 1-D search window half-width
+    int blockRadius = 2;       //!< SAD block half-width (5x5)
+    int maxDisparity = 64;
+    int flowScale = 2;         //!< motion estimated at 1/flowScale
+    flow::FarnebackParams flowParams{2, 2, 3, 1.2, 5};
+    MotionEstimator motion = MotionEstimator::Farneback;
+    bool medianPostprocess = false; //!< 3x3 median on non-key output
+};
+
+/** Per-frame output of the ISM pipeline. */
+struct IsmFrameResult
+{
+    stereo::DisparityMap disparity;
+    bool keyFrame = false;
+    int64_t arithmeticOps = 0; //!< cost charged for this frame
+};
+
+/**
+ * Key-frame disparity source: the "DNN inference" step. Receives the
+ * left/right images and returns a dense disparity map.
+ */
+using KeyFrameFn = std::function<stereo::DisparityMap(
+    const image::Image &left, const image::Image &right)>;
+
+/**
+ * Stateful ISM pipeline over a stereo video. Feed frames in order;
+ * every propagationWindow-th frame (starting with the first) runs
+ * the key-frame source, the rest are propagated and refined.
+ */
+class IsmPipeline
+{
+  public:
+    /** Static key-frame cadence from params.propagationWindow. */
+    IsmPipeline(IsmParams params, KeyFrameFn key_frame_source);
+
+    /** Custom key-frame policy (e.g. AdaptiveSequencer). */
+    IsmPipeline(IsmParams params, KeyFrameFn key_frame_source,
+                std::unique_ptr<KeyFrameSequencer> sequencer);
+
+    /** Process the next frame of the stereo video. */
+    IsmFrameResult processFrame(const image::Image &left,
+                                const image::Image &right);
+
+    /** Forget all temporal state (start of a new sequence). */
+    void reset();
+
+    const IsmParams &params() const { return params_; }
+
+  private:
+    flow::FlowField estimateFlow(const image::Image &from,
+                                 const image::Image &to) const;
+
+    IsmParams params_;
+    KeyFrameFn keyFrameSource_;
+    std::unique_ptr<KeyFrameSequencer> sequencer_;
+    int64_t frameIndex_ = 0;
+    image::Image prevLeft_;
+    image::Image prevRight_;
+    stereo::DisparityMap prevDisparity_;
+};
+
+/**
+ * Arithmetic-op count of one non-key frame at the given resolution
+ * (Sec. 3.3's "about 87 million operations" at qHD with defaults of
+ * flowScale = 4): two optical flows at reduced resolution, the
+ * correspondence scatter, and the guided block-matching refinement.
+ */
+int64_t nonKeyFrameOps(int width, int height, const IsmParams &p);
+
+} // namespace asv::core
+
+#endif // ASV_CORE_ISM_HH

@@ -1,0 +1,102 @@
+#include "data/oracle.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace asv::data
+{
+
+OracleModel
+OracleModel::forNetwork(const std::string &name)
+{
+    OracleModel m;
+    m.network = name;
+    if (name == "DispNet") {
+        m.outlierRate = 0.043;
+    } else if (name == "FlowNetC") {
+        m.outlierRate = 0.056;
+        m.subpixelSigma = 0.55;
+    } else if (name == "GC-Net") {
+        m.outlierRate = 0.029;
+        m.subpixelSigma = 0.40;
+    } else if (name == "PSMNet") {
+        m.outlierRate = 0.023;
+        m.subpixelSigma = 0.35;
+    } else {
+        fatal("no oracle calibration for network ", name);
+    }
+    return m;
+}
+
+stereo::DisparityMap
+oracleInference(const stereo::DisparityMap &gt,
+                const OracleModel &model, Rng &rng)
+{
+    const int w = gt.width(), h = gt.height();
+    stereo::DisparityMap pred(w, h);
+
+    // 1. Fill occluded pixels from the nearest valid left/right
+    // neighbor in the same row (DNNs hallucinate there).
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            float d = gt.at(x, y);
+            if (!stereo::isValidDisparity(d)) {
+                for (int r = 1; r < w; ++r) {
+                    if (x - r >= 0 &&
+                        stereo::isValidDisparity(gt.at(x - r, y))) {
+                        d = gt.at(x - r, y);
+                        break;
+                    }
+                    if (x + r < w &&
+                        stereo::isValidDisparity(gt.at(x + r, y))) {
+                        d = gt.at(x + r, y);
+                        break;
+                    }
+                }
+                if (!stereo::isValidDisparity(d))
+                    d = 0.f;
+            }
+            pred.at(x, y) = d;
+        }
+    }
+
+    // 2. Sub-pixel Gaussian noise everywhere.
+    for (int64_t i = 0; i < pred.size(); ++i) {
+        pred.data()[i] = std::max(
+            0.f, pred.data()[i] +
+                     float(rng.normal(0.0, model.subpixelSigma)));
+    }
+
+    // 3. Clustered outliers: seed blobs until the target fraction of
+    // pixels is covered.
+    const int r = model.outlierBlobRadius;
+    const double blob_area = (2 * r + 1) * (2 * r + 1) * 0.7;
+    const int64_t target =
+        int64_t(model.outlierRate * double(w) * double(h));
+    int64_t placed = 0;
+    while (placed < target) {
+        const int cx = rng.uniformInt(0, w - 1);
+        const int cy = rng.uniformInt(0, h - 1);
+        const float err = float(
+            rng.uniformReal(model.outlierMinError,
+                            model.outlierMaxError)) *
+            (rng.bernoulli(0.5) ? 1.f : -1.f);
+        for (int dy = -r; dy <= r; ++dy) {
+            for (int dx = -r; dx <= r; ++dx) {
+                if (dx * dx + dy * dy > r * r + 1)
+                    continue;
+                const int x = cx + dx, y = cy + dy;
+                if (x < 0 || x >= w || y < 0 || y >= h)
+                    continue;
+                pred.at(x, y) =
+                    std::max(0.f, pred.at(x, y) + err);
+            }
+        }
+        placed += int64_t(blob_area);
+    }
+    return pred;
+}
+
+} // namespace asv::data

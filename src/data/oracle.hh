@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DNN oracle: the stand-in for trained stereo DNN inference.
+ *
+ * Substitution note (DESIGN.md #1): accuracy experiments need a
+ * key-frame disparity source with DNN-like error characteristics.
+ * The oracle perturbs the exact ground truth with (a) sub-pixel
+ * Gaussian noise — stereo DNN estimates are accurate to a fraction
+ * of a pixel where they are right — and (b) a calibrated fraction of
+ * gross outliers (mismatched regions), so its three-pixel error rate
+ * matches the published error rate of the network it stands in for.
+ * Outliers are spatially clustered (blobs, not salt-and-pepper),
+ * mimicking how DNNs fail on surfaces and occlusions.
+ *
+ * Performance/energy numbers never use the oracle; they come from
+ * the layer-exact network models in dnn::zoo.
+ */
+
+#ifndef ASV_DATA_ORACLE_HH
+#define ASV_DATA_ORACLE_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "stereo/disparity.hh"
+
+namespace asv::data
+{
+
+/** Error process parameters of the oracle. */
+struct OracleModel
+{
+    std::string network = "DispNet";
+    double subpixelSigma = 0.45; //!< Gaussian noise (pixels)
+    double outlierRate = 0.043;  //!< fraction of bad (>3 px) pixels
+    double outlierMinError = 4.0;
+    double outlierMaxError = 16.0;
+    int outlierBlobRadius = 3;   //!< clustered failure regions
+
+    /**
+     * Calibrated per-network models: three-pixel error rates match
+     * the KITTI leaderboard numbers of each paper (DispNet 4.3%,
+     * FlowNetC 5.6%, GC-Net 2.9%, PSMNet 2.3%).
+     */
+    static OracleModel forNetwork(const std::string &name);
+};
+
+/**
+ * Produce a DNN-like disparity estimate from ground truth. Invalid
+ * (occluded) ground-truth pixels receive a plausible value too — a
+ * real DNN predicts everywhere — by extending from the nearest valid
+ * neighbor before perturbation.
+ */
+stereo::DisparityMap oracleInference(const stereo::DisparityMap &gt,
+                                     const OracleModel &model,
+                                     Rng &rng);
+
+} // namespace asv::data
+
+#endif // ASV_DATA_ORACLE_HH

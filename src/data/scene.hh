@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Synthetic stereo-video generator with exact ground truth.
+ *
+ * Substitution note (DESIGN.md #1): real SceneFlow/KITTI data and
+ * trained stereo DNNs are unavailable offline, so the accuracy
+ * experiments (Fig. 9) run on generated stereo sequences that provide
+ * the structure ISM actually exercises: textured surfaces at multiple
+ * depths, per-pixel ground-truth disparity, frame-to-frame motion,
+ * and occlusion. Scenes are layered: a textured background plane
+ * (optionally split into horizontal strips of increasing disparity, a
+ * road-like KITTI profile) plus moving textured rectangles at
+ * constant per-object disparity. Piecewise-constant disparity makes
+ * the right-view warp and the validity mask exact: a left pixel is
+ * valid iff its right-image correspondence is not occluded by a
+ * nearer layer, decided with a right-image disparity z-buffer.
+ */
+
+#ifndef ASV_DATA_SCENE_HH
+#define ASV_DATA_SCENE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "flow/flow_field.hh"
+#include "image/image.hh"
+#include "stereo/disparity.hh"
+
+namespace asv::data
+{
+
+/** One generated stereo frame with ground truth. */
+struct StereoFrame
+{
+    image::Image left;
+    image::Image right;
+    stereo::DisparityMap gtDisparity; //!< left-reference, occluded
+                                      //!< pixels marked invalid
+    flow::FlowField gtFlowLeft;       //!< motion to the next frame
+};
+
+/** A generated sequence of consecutive stereo frames. */
+struct StereoSequence
+{
+    std::vector<StereoFrame> frames;
+};
+
+/** Scene generation parameters. */
+struct SceneConfig
+{
+    int width = 256;
+    int height = 128;
+    int numObjects = 6;
+    float minDisparity = 4.f;   //!< background / farthest layer
+    float maxDisparity = 40.f;  //!< nearest object
+    float maxSpeed = 2.5f;      //!< object velocity (px/frame)
+    float maxDisparityDrift = 0.3f; //!< disparity change per frame
+    int groundStrips = 0;       //!< >0: road-like striped background
+    float textureScale = 8.f;   //!< texture feature size in pixels
+    float photometricNoise = 0.5f; //!< per-frame sensor noise (gray
+                                   //!< levels out of 255)
+    int flatObjects = 0; //!< objects with near-constant texture:
+                         //!< the textureless surfaces that defeat
+                         //!< hand-crafted matching (Fig. 1) while
+                         //!< leaving learned matchers unharmed
+};
+
+/**
+ * A movable textured layer. The scene owns a background layer (id 0)
+ * plus numObjects rectangles sorted far-to-near.
+ */
+struct SceneLayer
+{
+    image::Image texture;
+    float x = 0.f, y = 0.f;   //!< top-left position in left view
+    float vx = 0.f, vy = 0.f; //!< velocity per frame
+    float disparity = 0.f;
+    float disparityDrift = 0.f;
+};
+
+/**
+ * A procedurally generated scene that can be rendered at consecutive
+ * timesteps.
+ */
+class Scene
+{
+  public:
+    Scene(const SceneConfig &cfg, Rng &rng);
+
+    /** Render the frame at the current time and advance the scene. */
+    StereoFrame renderAndAdvance(Rng &rng);
+
+    const SceneConfig &config() const { return cfg_; }
+    const std::vector<SceneLayer> &layers() const { return layers_; }
+
+  private:
+    StereoFrame render(Rng &rng) const;
+    void advance();
+
+    SceneConfig cfg_;
+    std::vector<SceneLayer> layers_;
+};
+
+/**
+ * Smooth random texture: value noise at @p scale pixels per feature,
+ * in [0, 255].
+ */
+image::Image makeTexture(int width, int height, float scale,
+                         Rng &rng);
+
+/**
+ * Generate a full sequence of @p num_frames consecutive frames.
+ */
+StereoSequence generateSequence(const SceneConfig &cfg,
+                                int num_frames, uint64_t seed);
+
+/** SceneFlow-like profile: 26 synthetic videos (Sec. 6.1). */
+std::vector<StereoSequence> sceneFlowDataset(
+    int sequences = 26, int frames_per_sequence = 8,
+    int width = 256, int height = 128, uint64_t seed = 1);
+
+/**
+ * KITTI-like profile: 200 two-frame street-style pairs with a
+ * striped ground plane and larger disparities (Sec. 6.1).
+ */
+std::vector<StereoSequence> kittiDataset(int sequences = 200,
+                                         int width = 256,
+                                         int height = 96,
+                                         uint64_t seed = 2);
+
+} // namespace asv::data
+
+#endif // ASV_DATA_SCENE_HH

@@ -1,0 +1,173 @@
+#include "dnn/layer.hh"
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace asv::dnn
+{
+
+const char *
+toString(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::Deconv: return "deconv";
+      case LayerKind::FullyConnected: return "fc";
+      case LayerKind::Activation: return "act";
+      case LayerKind::Pooling: return "pool";
+      case LayerKind::CostVolume: return "costvol";
+    }
+    return "?";
+}
+
+const char *
+toString(Stage stage)
+{
+    switch (stage) {
+      case Stage::FeatureExtraction: return "FE";
+      case Stage::MatchingOptimization: return "MO";
+      case Stage::DisparityRefinement: return "DR";
+      case Stage::Other: return "Other";
+    }
+    return "?";
+}
+
+Shape
+LayerDesc::outSpatial() const
+{
+    Shape out(inSpatial.size());
+    for (size_t d = 0; d < inSpatial.size(); ++d) {
+        switch (kind) {
+          case LayerKind::Deconv:
+            out[d] = deconvOutSize(inSpatial[d], kernel[d], stride[d],
+                                   pad[d]);
+            break;
+          case LayerKind::Conv:
+          case LayerKind::Pooling:
+            out[d] = convOutSize(inSpatial[d], kernel[d], stride[d],
+                                 pad[d]);
+            break;
+          case LayerKind::Activation:
+          case LayerKind::CostVolume:
+          case LayerKind::FullyConnected:
+            out[d] = inSpatial[d];
+            break;
+        }
+        panic_if(out[d] < 1, "layer ", name, ": output dim ", d,
+                 " collapsed to ", out[d]);
+    }
+    return out;
+}
+
+int64_t
+LayerDesc::inActivations() const
+{
+    return batch * inChannels * tensor::numElems(inSpatial);
+}
+
+int64_t
+LayerDesc::outActivations() const
+{
+    return batch * outChannels * tensor::numElems(outSpatial());
+}
+
+int64_t
+LayerDesc::paramCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Deconv:
+        return inChannels * outChannels * tensor::numElems(kernel);
+      case LayerKind::FullyConnected:
+        return inActivations() * outChannels;
+      case LayerKind::Activation:
+      case LayerKind::Pooling:
+      case LayerKind::CostVolume:
+        return 0;
+    }
+    return 0;
+}
+
+int64_t
+LayerDesc::macs() const
+{
+    const int64_t out_elems = batch * tensor::numElems(outSpatial());
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Deconv:
+        // Deconv counted as the dense convolution over the
+        // zero-inserted upsampled ifmap (the naive baseline).
+        return outChannels * out_elems * inChannels *
+               tensor::numElems(kernel);
+      case LayerKind::FullyConnected:
+        return inActivations() * outChannels;
+      case LayerKind::Activation:
+        return outChannels * out_elems;
+      case LayerKind::Pooling:
+        return outChannels * out_elems * tensor::numElems(kernel);
+      case LayerKind::CostVolume:
+        // One feature dot product per disparity candidate
+        // (outChannels candidates) per output position.
+        return outChannels * out_elems * inChannels;
+    }
+    return 0;
+}
+
+int64_t
+LayerDesc::zeroMacs() const
+{
+    if (kind != LayerKind::Deconv)
+        return 0;
+
+    // Useful (non-zero-operand) MACs follow from the sub-kernel
+    // decomposition (Sec. 4.1 / App. A): for each spatial dim d,
+    // output phase r in [0, stride) covers ceil((out - r) / stride)
+    // positions, each touching e(delta) = ceil((k - delta) / stride)
+    // kernel taps with delta = (k - 1 - pad - r) mod stride.
+    const Shape out = outSpatial();
+    int64_t spatial_taps = 1;
+    for (size_t d = 0; d < inSpatial.size(); ++d) {
+        const int64_t s = stride[d], k = kernel[d], p = pad[d];
+        const int64_t q = k - 1 - p;
+        int64_t sum = 0;
+        for (int64_t r = 0; r < s && r < out[d]; ++r) {
+            const int64_t count = ceilDiv(out[d] - r, s);
+            const int64_t delta = ((q - r) % s + s) % s;
+            const int64_t taps =
+                delta <= k - 1 ? (k - 1 - delta) / s + 1 : 0;
+            sum += count * taps;
+        }
+        spatial_taps *= sum;
+    }
+    const int64_t useful =
+        batch * outChannels * inChannels * spatial_taps;
+    const int64_t total = macs();
+    panic_if(useful > total, "layer ", name,
+             ": useful MACs exceed dense MACs");
+    return total - useful;
+}
+
+void
+LayerDesc::validate() const
+{
+    panic_if(inChannels < 1 || outChannels < 1, "layer ", name,
+             ": channels must be positive");
+    panic_if(inSpatial.empty() || inSpatial.size() > 3, "layer ",
+             name, ": spatial rank must be 1..3");
+    const bool windowed =
+        kind == LayerKind::Conv || kind == LayerKind::Deconv ||
+        kind == LayerKind::Pooling;
+    if (windowed) {
+        panic_if(kernel.size() != inSpatial.size() ||
+                     stride.size() != inSpatial.size() ||
+                     pad.size() != inSpatial.size(),
+                 "layer ", name, ": kernel/stride/pad rank mismatch");
+        for (size_t d = 0; d < kernel.size(); ++d) {
+            panic_if(kernel[d] < 1 || stride[d] < 1 || pad[d] < 0,
+                     "layer ", name, ": bad kernel/stride/pad");
+        }
+    }
+    (void)outSpatial(); // panics if any dim collapses
+}
+
+} // namespace asv::dnn

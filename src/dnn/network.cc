@@ -1,0 +1,198 @@
+#include "dnn/network.hh"
+
+#include "common/logging.hh"
+
+namespace asv::dnn
+{
+
+double
+NetworkStats::deconvFraction() const
+{
+    const int64_t all = totalMacs + otherOps;
+    return all ? double(deconvMacs) / double(all) : 0.0;
+}
+
+void
+Network::addLayer(LayerDesc layer)
+{
+    layer.validate();
+    layers_.push_back(std::move(layer));
+}
+
+NetworkStats
+Network::stats() const
+{
+    NetworkStats s;
+    for (const auto &l : layers_) {
+        const int64_t m = l.macs();
+        s.params += l.paramCount();
+        switch (l.kind) {
+          case LayerKind::Conv:
+          case LayerKind::FullyConnected:
+          case LayerKind::CostVolume:
+            s.convMacs += m;
+            s.totalMacs += m;
+            break;
+          case LayerKind::Deconv:
+            s.deconvMacs += m;
+            s.deconvZeroMacs += l.zeroMacs();
+            s.totalMacs += m;
+            break;
+          case LayerKind::Activation:
+          case LayerKind::Pooling:
+            s.otherOps += m;
+            break;
+        }
+        s.macsByStage[l.stage] += m;
+    }
+    return s;
+}
+
+std::vector<const LayerDesc *>
+Network::layersOfKind(LayerKind kind) const
+{
+    std::vector<const LayerDesc *> out;
+    for (const auto &l : layers_)
+        if (l.kind == kind)
+            out.push_back(&l);
+    return out;
+}
+
+NetworkBuilder::NetworkBuilder(std::string name, int64_t channels,
+                               Shape spatial)
+    : net_(std::move(name)), channels_(channels),
+      spatial_(std::move(spatial))
+{
+    panic_if(channels_ < 1, "input channels must be positive");
+    panic_if(spatial_.empty() || spatial_.size() > 3,
+             "input spatial rank must be 1..3");
+}
+
+NetworkBuilder &
+NetworkBuilder::withBatch(int64_t batch)
+{
+    panic_if(batch < 1, "batch must be positive");
+    batch_ = batch;
+    return *this;
+}
+
+LayerDesc
+NetworkBuilder::makeWindowed(const std::string &name, LayerKind kind,
+                             int64_t out_channels, int64_t kernel,
+                             int64_t stride, int64_t pad, Stage stage)
+{
+    LayerDesc l;
+    l.name = name;
+    l.batch = batch_;
+    l.kind = kind;
+    l.stage = stage;
+    l.inChannels = channels_;
+    l.outChannels = out_channels;
+    l.inSpatial = spatial_;
+    l.kernel.assign(spatial_.size(), kernel);
+    l.stride.assign(spatial_.size(), stride);
+    l.pad.assign(spatial_.size(), pad);
+    return l;
+}
+
+NetworkBuilder &
+NetworkBuilder::conv(const std::string &name, int64_t out_channels,
+                     int64_t kernel, int64_t stride, int64_t pad,
+                     Stage stage)
+{
+    LayerDesc l = makeWindowed(name, LayerKind::Conv, out_channels,
+                               kernel, stride, pad, stage);
+    spatial_ = l.outSpatial();
+    channels_ = out_channels;
+    net_.addLayer(std::move(l));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::deconv(const std::string &name, int64_t out_channels,
+                       int64_t kernel, int64_t stride, int64_t pad,
+                       Stage stage)
+{
+    LayerDesc l = makeWindowed(name, LayerKind::Deconv, out_channels,
+                               kernel, stride, pad, stage);
+    spatial_ = l.outSpatial();
+    channels_ = out_channels;
+    net_.addLayer(std::move(l));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::activation(const std::string &name)
+{
+    LayerDesc l;
+    l.name = name;
+    l.batch = batch_;
+    l.kind = LayerKind::Activation;
+    l.stage = Stage::Other;
+    l.inChannels = channels_;
+    l.outChannels = channels_;
+    l.inSpatial = spatial_;
+    net_.addLayer(std::move(l));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::pool(const std::string &name, int64_t kernel,
+                     int64_t stride)
+{
+    LayerDesc l = makeWindowed(name, LayerKind::Pooling, channels_,
+                               kernel, stride, 0, Stage::Other);
+    spatial_ = l.outSpatial();
+    net_.addLayer(std::move(l));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::costVolume(const std::string &name, int64_t candidates)
+{
+    LayerDesc l;
+    l.name = name;
+    l.batch = batch_;
+    l.kind = LayerKind::CostVolume;
+    l.stage = Stage::MatchingOptimization;
+    l.inChannels = channels_;
+    l.outChannels = candidates;
+    l.inSpatial = spatial_;
+    channels_ = candidates;
+    net_.addLayer(std::move(l));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::to3d(int64_t channels, int64_t depth)
+{
+    panic_if(spatial_.size() != 2,
+             "to3d requires a 2-D running shape");
+    spatial_ = {depth, spatial_[0], spatial_[1]};
+    channels_ = channels;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::concatChannels(int64_t extra_channels)
+{
+    panic_if(extra_channels < 0, "negative concat channels");
+    channels_ += extra_channels;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::setChannels(int64_t channels)
+{
+    panic_if(channels < 1, "channels must be positive");
+    channels_ = channels;
+    return *this;
+}
+
+Network
+NetworkBuilder::build()
+{
+    return std::move(net_);
+}
+
+} // namespace asv::dnn

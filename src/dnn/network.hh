@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Network IR: an ordered list of layer descriptors plus analytics.
+ *
+ * Networks execute layer-wise (the execution model assumed by the
+ * scheduler, Sec. 4.2), so a simple sequence is sufficient; skip
+ * connections only matter for activation-traffic accounting, which we
+ * fold into each consumer layer's input size (concatenated channels).
+ */
+
+#ifndef ASV_DNN_NETWORK_HH
+#define ASV_DNN_NETWORK_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace asv::dnn
+{
+
+/** Aggregate op statistics of a network (Fig. 3's raw material). */
+struct NetworkStats
+{
+    int64_t totalMacs = 0;
+    int64_t convMacs = 0;
+    int64_t deconvMacs = 0;   //!< naive dense deconv cost
+    int64_t deconvZeroMacs = 0; //!< provably wasted on inserted zeros
+    int64_t otherOps = 0;
+    int64_t params = 0;
+    std::map<Stage, int64_t> macsByStage;
+
+    /** Fraction of all ops spent in deconvolution layers. */
+    double deconvFraction() const;
+};
+
+/** An ordered feed-forward network description. */
+class Network
+{
+  public:
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<LayerDesc> &layers() const { return layers_; }
+    size_t numLayers() const { return layers_.size(); }
+
+    /** Append a validated layer. */
+    void addLayer(LayerDesc layer);
+
+    /** Compute aggregate statistics. */
+    NetworkStats stats() const;
+
+    /** All layers of a given kind. */
+    std::vector<const LayerDesc *> layersOfKind(LayerKind kind) const;
+
+  private:
+    std::string name_;
+    std::vector<LayerDesc> layers_;
+};
+
+/**
+ * Convenience builder that tracks the running activation shape so
+ * network definitions read like the papers' layer tables.
+ */
+class NetworkBuilder
+{
+  public:
+    /**
+     * @param name     network name
+     * @param channels input channel count
+     * @param spatial  input spatial extents ((D,) H, W)
+     */
+    NetworkBuilder(std::string name, int64_t channels, Shape spatial);
+
+    /**
+     * Set the batch size applied to all subsequently added layers
+     * (independent inputs sharing weights; GAN generators are
+     * evaluated batched, Sec. 7.6).
+     */
+    NetworkBuilder &withBatch(int64_t batch);
+
+    /** 2-D/3-D convolution with square/cubic kernel. */
+    NetworkBuilder &conv(const std::string &name, int64_t out_channels,
+                         int64_t kernel, int64_t stride, int64_t pad,
+                         Stage stage);
+
+    /** 2-D/3-D transposed convolution with square/cubic kernel. */
+    NetworkBuilder &deconv(const std::string &name,
+                           int64_t out_channels, int64_t kernel,
+                           int64_t stride, int64_t pad, Stage stage);
+
+    /** Point-wise activation over the current shape. */
+    NetworkBuilder &activation(const std::string &name);
+
+    /** Max/avg pooling window. */
+    NetworkBuilder &pool(const std::string &name, int64_t kernel,
+                         int64_t stride);
+
+    /**
+     * Stereo correlation / cost-volume layer: produces
+     * @p candidates channels ("disparity planes") at the current
+     * resolution, each costing one inChannels-long dot product per
+     * pixel (FlowNetC-style correlation).
+     */
+    NetworkBuilder &costVolume(const std::string &name,
+                               int64_t candidates);
+
+    /**
+     * Re-enter a 3-D shape: wraps the current 2-D feature map into a
+     * cost volume of @p depth disparity planes with @p channels
+     * channels (GC-Net/PSMNet concat volumes; construction itself is
+     * data movement, not arithmetic).
+     */
+    NetworkBuilder &to3d(int64_t channels, int64_t depth);
+
+    /** Override the running channel count (concat skip connections). */
+    NetworkBuilder &concatChannels(int64_t extra_channels);
+
+    /**
+     * Set the running channel count outright. Used by zoo definitions
+     * to express siamese trunks and branch joins whose data flow is
+     * not a pure chain (MAC counts stay exact; see src/dnn/zoo.cc).
+     */
+    NetworkBuilder &setChannels(int64_t channels);
+
+    /** Current spatial shape (for assertions in zoo definitions). */
+    const Shape &spatial() const { return spatial_; }
+    int64_t channels() const { return channels_; }
+
+    /** Finish and return the network. */
+    Network build();
+
+  private:
+    LayerDesc makeWindowed(const std::string &name, LayerKind kind,
+                           int64_t out_channels, int64_t kernel,
+                           int64_t stride, int64_t pad, Stage stage);
+
+    Network net_;
+    int64_t channels_;
+    Shape spatial_;
+    int64_t batch_ = 1;
+};
+
+} // namespace asv::dnn
+
+#endif // ASV_DNN_NETWORK_HH

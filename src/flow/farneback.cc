@@ -1,0 +1,332 @@
+#include "flow/farneback.hh"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "image/ops.hh"
+
+namespace asv::flow
+{
+
+namespace
+{
+
+/** Solve the 6x6 system M x = r in place (partial pivoting). */
+std::array<double, 6>
+solve6(std::array<std::array<double, 6>, 6> m, std::array<double, 6> r)
+{
+    constexpr int n = 6;
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        for (int row = col + 1; row < n; ++row)
+            if (std::abs(m[row][col]) > std::abs(m[pivot][col]))
+                pivot = row;
+        std::swap(m[col], m[pivot]);
+        std::swap(r[col], r[pivot]);
+        panic_if(std::abs(m[col][col]) < 1e-12,
+                 "singular Gram matrix in polynomial expansion");
+        for (int row = col + 1; row < n; ++row) {
+            const double f = m[row][col] / m[col][col];
+            for (int k = col; k < n; ++k)
+                m[row][k] -= f * m[col][k];
+            r[row] -= f * r[col];
+        }
+    }
+    std::array<double, 6> x{};
+    for (int row = n - 1; row >= 0; --row) {
+        double acc = r[row];
+        for (int k = row + 1; k < n; ++k)
+            acc -= m[row][k] * x[k];
+        x[row] = acc / m[row][row];
+    }
+    return x;
+}
+
+/**
+ * Invert the Gram matrix of the basis {1, dx, dy, dx^2, dy^2, dxdy}
+ * under the Gaussian applicability, returning G^-1 row by row so the
+ * per-pixel projection is six dot products with the moment vector.
+ */
+std::array<std::array<double, 6>, 6>
+inverseGram(int radius, double sigma)
+{
+    std::array<std::array<double, 6>, 6> g{};
+    for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+            const double w =
+                std::exp(-(double(dx) * dx + double(dy) * dy) /
+                         (2.0 * sigma * sigma));
+            const std::array<double, 6> phi = {
+                1.0, double(dx), double(dy), double(dx) * dx,
+                double(dy) * dy, double(dx) * dy};
+            for (int i = 0; i < 6; ++i)
+                for (int j = 0; j < 6; ++j)
+                    g[i][j] += w * phi[i] * phi[j];
+        }
+    }
+    // Invert column by column.
+    std::array<std::array<double, 6>, 6> inv{};
+    for (int col = 0; col < 6; ++col) {
+        std::array<double, 6> e{};
+        e[col] = 1.0;
+        const auto x = solve6(g, e);
+        for (int row = 0; row < 6; ++row)
+            inv[row][col] = x[row];
+    }
+    return inv;
+}
+
+/** One separable pass along x with kernel w(t)*t^p. */
+image::Image
+rowMoment(const image::Image &src, int radius, double sigma, int p)
+{
+    image::Image dst(src.width(), src.height());
+    std::vector<double> k(2 * radius + 1);
+    for (int t = -radius; t <= radius; ++t) {
+        const double w =
+            std::exp(-(double(t) * t) / (2.0 * sigma * sigma));
+        k[t + radius] = w * std::pow(double(t), p);
+    }
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            double acc = 0.0;
+            for (int t = -radius; t <= radius; ++t)
+                acc += k[t + radius] * src.atClamped(x + t, y);
+            dst.at(x, y) = static_cast<float>(acc);
+        }
+    }
+    return dst;
+}
+
+/** One separable pass along y with kernel w(t)*t^q. */
+image::Image
+colMoment(const image::Image &src, int radius, double sigma, int q)
+{
+    image::Image dst(src.width(), src.height());
+    std::vector<double> k(2 * radius + 1);
+    for (int t = -radius; t <= radius; ++t) {
+        const double w =
+            std::exp(-(double(t) * t) / (2.0 * sigma * sigma));
+        k[t + radius] = w * std::pow(double(t), q);
+    }
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            double acc = 0.0;
+            for (int t = -radius; t <= radius; ++t)
+                acc += k[t + radius] * src.atClamped(x, y + t);
+            dst.at(x, y) = static_cast<float>(acc);
+        }
+    }
+    return dst;
+}
+
+} // namespace
+
+PolyExpansion
+polyExpansion(const image::Image &img, int radius, double sigma)
+{
+    panic_if(radius < 1, "polynomial radius must be >= 1");
+    const int w = img.width(), h = img.height();
+    const auto ginv = inverseGram(radius, sigma);
+
+    // Separable moments: m(p,q) = col_q(row_p(f)).
+    const image::Image r0 = rowMoment(img, radius, sigma, 0);
+    const image::Image r1 = rowMoment(img, radius, sigma, 1);
+    const image::Image r2 = rowMoment(img, radius, sigma, 2);
+    const image::Image m00 = colMoment(r0, radius, sigma, 0);
+    const image::Image m10 = colMoment(r1, radius, sigma, 0);
+    const image::Image m01 = colMoment(r0, radius, sigma, 1);
+    const image::Image m20 = colMoment(r2, radius, sigma, 0);
+    const image::Image m02 = colMoment(r0, radius, sigma, 2);
+    const image::Image m11 = colMoment(r1, radius, sigma, 1);
+
+    PolyExpansion pe{image::Image(w, h), image::Image(w, h),
+                     image::Image(w, h), image::Image(w, h),
+                     image::Image(w, h), image::Image(w, h)};
+
+    // Basis order: {1, dx, dy, dx^2, dy^2, dxdy}.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const std::array<double, 6> m = {
+                m00.at(x, y), m10.at(x, y), m01.at(x, y),
+                m20.at(x, y), m02.at(x, y), m11.at(x, y)};
+            std::array<double, 6> coef{};
+            for (int i = 0; i < 6; ++i) {
+                double acc = 0.0;
+                for (int j = 0; j < 6; ++j)
+                    acc += ginv[i][j] * m[j];
+                coef[i] = acc;
+            }
+            pe.c.at(x, y) = static_cast<float>(coef[0]);
+            pe.bx.at(x, y) = static_cast<float>(coef[1]);
+            pe.by.at(x, y) = static_cast<float>(coef[2]);
+            pe.axx.at(x, y) = static_cast<float>(coef[3]);
+            pe.ayy.at(x, y) = static_cast<float>(coef[4]);
+            pe.axy.at(x, y) = static_cast<float>(coef[5]);
+        }
+    }
+    return pe;
+}
+
+namespace
+{
+
+/**
+ * One displacement-update iteration at a single scale ("Matrix
+ * Update" + Gaussian blur + "Compute Flow" in ASV's mapping).
+ */
+void
+updateFlow(const PolyExpansion &p1, const PolyExpansion &p2,
+           FlowField &flow, int blur_radius)
+{
+    const int w = flow.width(), h = flow.height();
+
+    image::Image g11(w, h), g12(w, h), g22(w, h), h1(w, h), h2(w, h);
+
+    // Matrix update: build the per-pixel normal equations.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const float du = flow.u.at(x, y);
+            const float dv = flow.v.at(x, y);
+            const float xs = clamp(float(x) + du, 0.f, float(w - 1));
+            const float ys = clamp(float(y) + dv, 0.f, float(h - 1));
+
+            // A = (A1(x) + A2(x+d)) / 2, with A =
+            // [[axx, axy/2], [axy/2, ayy]].
+            const double a11 =
+                0.5 * (p1.axx.at(x, y) + p2.axx.sample(xs, ys));
+            const double a22 =
+                0.5 * (p1.ayy.at(x, y) + p2.ayy.sample(xs, ys));
+            const double a12 =
+                0.25 * (p1.axy.at(x, y) + p2.axy.sample(xs, ys));
+
+            // db = -(1/2)(b2(x+d) - b1(x)) + A d.
+            const double db1 =
+                -0.5 * (p2.bx.sample(xs, ys) - p1.bx.at(x, y)) +
+                a11 * du + a12 * dv;
+            const double db2 =
+                -0.5 * (p2.by.sample(xs, ys) - p1.by.at(x, y)) +
+                a12 * du + a22 * dv;
+
+            // Accumulate G = A^T A and h = A^T db.
+            g11.at(x, y) = float(a11 * a11 + a12 * a12);
+            g12.at(x, y) = float(a12 * (a11 + a22));
+            g22.at(x, y) = float(a22 * a22 + a12 * a12);
+            h1.at(x, y) = float(a11 * db1 + a12 * db2);
+            h2.at(x, y) = float(a12 * db1 + a22 * db2);
+        }
+    }
+
+    // Gaussian aggregation of the normal equations.
+    g11 = image::gaussianBlur(g11, blur_radius);
+    g12 = image::gaussianBlur(g12, blur_radius);
+    g22 = image::gaussianBlur(g22, blur_radius);
+    h1 = image::gaussianBlur(h1, blur_radius);
+    h2 = image::gaussianBlur(h2, blur_radius);
+
+    // Compute flow: per-pixel 2x2 solve.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const double a = g11.at(x, y), b = g12.at(x, y);
+            const double c = g22.at(x, y);
+            const double det = a * c - b * b;
+            if (std::abs(det) < 1e-9)
+                continue; // textureless region: keep previous flow
+            const double r1 = h1.at(x, y), r2 = h2.at(x, y);
+            flow.u.at(x, y) = float((c * r1 - b * r2) / det);
+            flow.v.at(x, y) = float((a * r2 - b * r1) / det);
+        }
+    }
+}
+
+} // namespace
+
+FlowField
+farnebackFlow(const image::Image &frame0, const image::Image &frame1,
+              const FarnebackParams &params, const FlowField *init)
+{
+    panic_if(frame0.width() != frame1.width() ||
+                 frame0.height() != frame1.height(),
+             "frame size mismatch");
+    panic_if(init && (init->width() != frame0.width() ||
+                      init->height() != frame0.height()),
+             "init flow size mismatch");
+
+    const auto pyr0 = image::buildPyramid(frame0, params.pyramidLevels);
+    const auto pyr1 = image::buildPyramid(frame1, params.pyramidLevels);
+    const int levels = static_cast<int>(pyr0.size());
+
+    FlowField flow(pyr0[levels - 1].width(), pyr0[levels - 1].height());
+    if (init) {
+        const float s = 1.f / float(1 << (levels - 1));
+        flow.u = image::resizeBilinear(init->u, flow.width(),
+                                       flow.height());
+        flow.v = image::resizeBilinear(init->v, flow.width(),
+                                       flow.height());
+        for (int64_t i = 0; i < flow.u.size(); ++i) {
+            flow.u.data()[i] *= s;
+            flow.v.data()[i] *= s;
+        }
+    }
+
+    for (int level = levels - 1; level >= 0; --level) {
+        const image::Image &f0 = pyr0[level];
+        const image::Image &f1 = pyr1[level];
+
+        if (level != levels - 1) {
+            // Upsample flow from the coarser level and rescale.
+            const float sx = float(f0.width()) / flow.width();
+            FlowField up(f0.width(), f0.height());
+            up.u = image::resizeBilinear(flow.u, f0.width(),
+                                         f0.height());
+            up.v = image::resizeBilinear(flow.v, f0.width(),
+                                         f0.height());
+            for (int64_t i = 0; i < up.u.size(); ++i) {
+                up.u.data()[i] *= sx;
+                up.v.data()[i] *= sx;
+            }
+            flow = std::move(up);
+        }
+
+        const PolyExpansion p0 =
+            polyExpansion(f0, params.polyRadius, params.polySigma);
+        const PolyExpansion p1 =
+            polyExpansion(f1, params.polyRadius, params.polySigma);
+
+        for (int it = 0; it < params.iterations; ++it)
+            updateFlow(p0, p1, flow, params.blurRadius);
+    }
+    return flow;
+}
+
+FarnebackCost
+farnebackCost(int width, int height, const FarnebackParams &params)
+{
+    FarnebackCost cost;
+    int w = width, h = height;
+    for (int level = 0; level < params.pyramidLevels; ++level) {
+        const int64_t pixels = int64_t(w) * h;
+        const int taps_poly = 2 * params.polyRadius + 1;
+        const int taps_blur = 2 * params.blurRadius + 1;
+
+        // Polynomial expansion of both frames: 3 row passes + 6 col
+        // passes, each one MAC per tap, plus the 6x6 projection.
+        cost.convOps += 2 * pixels * int64_t(9) * taps_poly;
+        cost.pointwiseOps += 2 * pixels * 36;
+
+        // Per iteration: matrix update (~20 point ops/pixel), five
+        // separable Gaussian blurs, 2x2 solve (~10 point ops/pixel).
+        cost.pointwiseOps += int64_t(params.iterations) * pixels * 30;
+        cost.convOps += int64_t(params.iterations) * pixels * 5 * 2 *
+                        taps_blur;
+
+        w = std::max(1, w / 2);
+        h = std::max(1, h / 2);
+    }
+    return cost;
+}
+
+} // namespace asv::flow

@@ -1,0 +1,44 @@
+#include "flow/flow_field.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace asv::flow
+{
+
+image::Image
+warpByFlow(const image::Image &target, const FlowField &flow)
+{
+    panic_if(target.width() != flow.width() ||
+                 target.height() != flow.height(),
+             "flow/image size mismatch");
+    image::Image out(target.width(), target.height());
+    for (int y = 0; y < target.height(); ++y) {
+        for (int x = 0; x < target.width(); ++x) {
+            out.at(x, y) = target.sample(x + flow.u.at(x, y),
+                                         y + flow.v.at(x, y));
+        }
+    }
+    return out;
+}
+
+double
+averageEndpointError(const FlowField &f, const FlowField &gt, int margin)
+{
+    panic_if(f.width() != gt.width() || f.height() != gt.height(),
+             "flow size mismatch");
+    double sum = 0.0;
+    int64_t n = 0;
+    for (int y = margin; y < f.height() - margin; ++y) {
+        for (int x = margin; x < f.width() - margin; ++x) {
+            const double du = f.u.at(x, y) - gt.u.at(x, y);
+            const double dv = f.v.at(x, y) - gt.v.at(x, y);
+            sum += std::sqrt(du * du + dv * dv);
+            ++n;
+        }
+    }
+    return n ? sum / double(n) : 0.0;
+}
+
+} // namespace asv::flow

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Dense per-pixel 2-D motion field.
+ */
+
+#ifndef ASV_FLOW_FLOW_FIELD_HH
+#define ASV_FLOW_FLOW_FIELD_HH
+
+#include "image/image.hh"
+
+namespace asv::flow
+{
+
+/**
+ * A dense flow field: for every pixel (x, y) of the source frame,
+ * (u, v) is the displacement to the corresponding pixel in the target
+ * frame, i.e. target(x + u, y + v) ~ source(x, y).
+ */
+struct FlowField
+{
+    image::Image u; //!< horizontal displacement per pixel
+    image::Image v; //!< vertical displacement per pixel
+
+    FlowField() = default;
+    FlowField(int width, int height)
+        : u(width, height), v(width, height)
+    {}
+
+    int width() const { return u.width(); }
+    int height() const { return u.height(); }
+
+    /** Set every vector to (du, dv). */
+    void
+    fill(float du, float dv)
+    {
+        u.fill(du);
+        v.fill(dv);
+    }
+};
+
+/**
+ * Backward-warp @p target by @p flow: result(x, y) =
+ * target(x + u, y + v), bilinear, border clamped. If the flow is
+ * accurate the result approximates the source frame.
+ */
+image::Image warpByFlow(const image::Image &target,
+                        const FlowField &flow);
+
+/**
+ * Average endpoint error |f - gt| over all pixels, optionally
+ * ignoring a border margin (flow is ill-defined at frame edges).
+ */
+double averageEndpointError(const FlowField &f, const FlowField &gt,
+                            int margin = 0);
+
+} // namespace asv::flow
+
+#endif // ASV_FLOW_FLOW_FIELD_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Single-channel float image container.
+ *
+ * Grayscale float images are the working representation for the
+ * classic vision substrates in ASV: Farnebäck optical flow, block
+ * matching, SGM, and the synthetic dataset generator. Disparity and
+ * flow fields reuse the same container (one Image per component).
+ */
+
+#ifndef ASV_IMAGE_IMAGE_HH
+#define ASV_IMAGE_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace asv::image
+{
+
+/**
+ * A dense row-major single-channel float image.
+ *
+ * Pixel (x, y) with x in [0, width) columns and y in [0, height) rows.
+ */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Construct zero-filled w x h image. */
+    Image(int width, int height);
+
+    /** Construct filled with @p value. */
+    Image(int width, int height, float value);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int64_t size() const { return static_cast<int64_t>(data_.size()); }
+    bool empty() const { return data_.empty(); }
+
+    float &at(int x, int y) { return data_[int64_t(y) * width_ + x]; }
+    float at(int x, int y) const
+    {
+        return data_[int64_t(y) * width_ + x];
+    }
+
+    /** Read with border clamping (replicate edge pixels). */
+    float atClamped(int x, int y) const;
+
+    /** Bilinear sample at real coordinates, border clamped. */
+    float sample(float x, float y) const;
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::vector<float> &flat() { return data_; }
+    const std::vector<float> &flat() const { return data_; }
+
+    void fill(float value);
+
+    /** Mean of all pixels. */
+    double mean() const;
+
+    /** Max absolute difference against another image (same size). */
+    double maxAbsDiff(const Image &other) const;
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace asv::image
+
+#endif // ASV_IMAGE_IMAGE_HH

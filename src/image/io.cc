@@ -1,0 +1,112 @@
+#include "image/io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace asv::image
+{
+
+bool
+writePgm(const Image &img, const std::string &path, float lo, float hi)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+
+    float mn = lo, mx = hi;
+    if (lo == hi) {
+        mn = std::numeric_limits<float>::max();
+        mx = std::numeric_limits<float>::lowest();
+        for (int64_t i = 0; i < img.size(); ++i) {
+            mn = std::min(mn, img.data()[i]);
+            mx = std::max(mx, img.data()[i]);
+        }
+        if (mn == mx)
+            mx = mn + 1.f;
+    }
+
+    f << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+    std::vector<unsigned char> row(img.width());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            const float v = (img.at(x, y) - mn) / (mx - mn) * 255.f;
+            row[x] = static_cast<unsigned char>(
+                clamp(v, 0.f, 255.f));
+        }
+        f.write(reinterpret_cast<const char *>(row.data()),
+                row.size());
+    }
+    return bool(f);
+}
+
+bool
+readPgm(Image &img, const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::string magic;
+    int w = 0, h = 0, maxval = 0;
+    f >> magic >> w >> h >> maxval;
+    if (magic != "P5" || w <= 0 || h <= 0 || maxval != 255)
+        return false;
+    f.get(); // single whitespace after header
+    img = Image(w, h);
+    std::vector<unsigned char> row(w);
+    for (int y = 0; y < h; ++y) {
+        f.read(reinterpret_cast<char *>(row.data()), row.size());
+        if (!f)
+            return false;
+        for (int x = 0; x < w; ++x)
+            img.at(x, y) = float(row[x]);
+    }
+    return true;
+}
+
+bool
+writePfm(const Image &img, const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    // Scale -1.0 marks little-endian; PFM rows are bottom-up.
+    f << "Pf\n" << img.width() << " " << img.height() << "\n-1.0\n";
+    for (int y = img.height() - 1; y >= 0; --y) {
+        f.write(reinterpret_cast<const char *>(
+                    img.data() + int64_t(y) * img.width()),
+                sizeof(float) * img.width());
+    }
+    return bool(f);
+}
+
+bool
+readPfm(Image &img, const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::string magic;
+    int w = 0, h = 0;
+    float scale = 0.f;
+    f >> magic >> w >> h >> scale;
+    if (magic != "Pf" || w <= 0 || h <= 0 || scale >= 0.f)
+        return false;
+    f.get();
+    img = Image(w, h);
+    for (int y = h - 1; y >= 0; --y) {
+        f.read(reinterpret_cast<char *>(img.data() +
+                                        int64_t(y) * w),
+               sizeof(float) * w);
+        if (!f)
+            return false;
+    }
+    return true;
+}
+
+} // namespace asv::image

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal image file I/O: binary PGM (8-bit) and PFM (float).
+ *
+ * Used by the examples to dump inputs, disparity maps and flow fields
+ * for visual inspection; the library itself never depends on files.
+ */
+
+#ifndef ASV_IMAGE_IO_HH
+#define ASV_IMAGE_IO_HH
+
+#include <string>
+
+#include "image/image.hh"
+
+namespace asv::image
+{
+
+/**
+ * Write @p img as binary PGM (P5), linearly mapping [lo, hi] to
+ * [0, 255]. If lo == hi the image min/max are used.
+ * @return true on success.
+ */
+bool writePgm(const Image &img, const std::string &path,
+              float lo = 0.f, float hi = 0.f);
+
+/** Read a binary PGM (P5) file into a float image in [0, 255]. */
+bool readPgm(Image &img, const std::string &path);
+
+/** Write @p img as little-endian grayscale PFM (Pf). */
+bool writePfm(const Image &img, const std::string &path);
+
+/** Read a little-endian grayscale PFM (Pf) file. */
+bool readPfm(Image &img, const std::string &path);
+
+} // namespace asv::image
+
+#endif // ASV_IMAGE_IO_HH

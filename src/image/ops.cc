@@ -1,0 +1,149 @@
+#include "image/ops.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace asv::image
+{
+
+std::vector<float>
+gaussianKernel1d(int radius, double sigma)
+{
+    panic_if(radius < 0, "negative radius");
+    if (sigma <= 0.0)
+        sigma = 0.3 * (radius - 1) + 0.8; // OpenCV-style default
+
+    std::vector<float> k(2 * radius + 1);
+    double sum = 0.0;
+    for (int i = -radius; i <= radius; ++i) {
+        const double v = std::exp(-(double(i) * i) /
+                                  (2.0 * sigma * sigma));
+        k[i + radius] = static_cast<float>(v);
+        sum += v;
+    }
+    for (auto &v : k)
+        v = static_cast<float>(v / sum);
+    return k;
+}
+
+Image
+gaussianBlur(const Image &src, int radius, double sigma)
+{
+    if (radius == 0)
+        return src;
+    const auto k = gaussianKernel1d(radius, sigma);
+    const int w = src.width(), h = src.height();
+
+    Image tmp(w, h), dst(w, h);
+    // Horizontal pass.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double acc = 0.0;
+            for (int i = -radius; i <= radius; ++i)
+                acc += k[i + radius] * src.atClamped(x + i, y);
+            tmp.at(x, y) = static_cast<float>(acc);
+        }
+    }
+    // Vertical pass.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double acc = 0.0;
+            for (int i = -radius; i <= radius; ++i)
+                acc += k[i + radius] * tmp.atClamped(x, y + i);
+            dst.at(x, y) = static_cast<float>(acc);
+        }
+    }
+    return dst;
+}
+
+int64_t
+gaussianBlurOps(int width, int height, int radius)
+{
+    // Two separable passes, one MAC per tap per pixel.
+    const int64_t taps = 2 * int64_t(radius) + 1;
+    return 2 * taps * int64_t(width) * int64_t(height);
+}
+
+Image
+resizeBilinear(const Image &src, int new_width, int new_height)
+{
+    panic_if(new_width <= 0 || new_height <= 0, "bad resize target");
+    Image dst(new_width, new_height);
+    const float sx = float(src.width()) / new_width;
+    const float sy = float(src.height()) / new_height;
+    for (int y = 0; y < new_height; ++y) {
+        for (int x = 0; x < new_width; ++x) {
+            const float fx = (x + 0.5f) * sx - 0.5f;
+            const float fy = (y + 0.5f) * sy - 0.5f;
+            dst.at(x, y) = src.sample(fx, fy);
+        }
+    }
+    return dst;
+}
+
+Image
+downsample2x(const Image &src)
+{
+    Image blurred = gaussianBlur(src, 1, 0.8);
+    const int w = std::max(1, src.width() / 2);
+    const int h = std::max(1, src.height() / 2);
+    Image dst(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            dst.at(x, y) = blurred.atClamped(2 * x, 2 * y);
+    return dst;
+}
+
+Image
+gradientX(const Image &src)
+{
+    Image dst(src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y)
+        for (int x = 0; x < src.width(); ++x)
+            dst.at(x, y) = 0.5f * (src.atClamped(x + 1, y) -
+                                   src.atClamped(x - 1, y));
+    return dst;
+}
+
+Image
+gradientY(const Image &src)
+{
+    Image dst(src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y)
+        for (int x = 0; x < src.width(); ++x)
+            dst.at(x, y) = 0.5f * (src.atClamped(x, y + 1) -
+                                   src.atClamped(x, y - 1));
+    return dst;
+}
+
+std::vector<Image>
+buildPyramid(const Image &src, int levels, int min_size)
+{
+    panic_if(levels < 1, "pyramid needs at least one level");
+    std::vector<Image> pyr;
+    pyr.push_back(src);
+    for (int l = 1; l < levels; ++l) {
+        const Image &prev = pyr.back();
+        if (prev.width() / 2 < min_size || prev.height() / 2 < min_size)
+            break;
+        pyr.push_back(downsample2x(prev));
+    }
+    return pyr;
+}
+
+double
+meanAbsDiff(const Image &a, const Image &b)
+{
+    panic_if(a.width() != b.width() || a.height() != b.height(),
+             "image size mismatch");
+    if (a.size() == 0)
+        return 0.0;
+    double s = 0.0;
+    for (int64_t i = 0; i < a.size(); ++i)
+        s += std::abs(double(a.data()[i]) - b.data()[i]);
+    return s / double(a.size());
+}
+
+} // namespace asv::image

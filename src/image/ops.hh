@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Core image operations: Gaussian blur, resize, gradients, pyramids.
+ *
+ * Gaussian blur is the convolutional workhorse of the Farnebäck
+ * optical-flow stage in ISM (Sec. 3.3): "99% of the compute in
+ * Farneback is due to three operations: Gaussian blur, Compute Flow
+ * and Matrix Update". Blur is implemented separably and its op count
+ * is exposed so the accelerator mapping can charge it as a convolution
+ * layer (Sec. 5.1).
+ */
+
+#ifndef ASV_IMAGE_OPS_HH
+#define ASV_IMAGE_OPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hh"
+
+namespace asv::image
+{
+
+/** 1-D Gaussian kernel of the given radius (size 2r+1), normalized. */
+std::vector<float> gaussianKernel1d(int radius, double sigma);
+
+/**
+ * Separable Gaussian blur with replicate borders.
+ *
+ * @param src    input image
+ * @param radius kernel radius (kernel size 2*radius+1)
+ * @param sigma  Gaussian sigma; if <= 0 a radius-derived default is used
+ */
+Image gaussianBlur(const Image &src, int radius, double sigma = -1.0);
+
+/** Arithmetic op count of gaussianBlur on a w x h image. */
+int64_t gaussianBlurOps(int width, int height, int radius);
+
+/** Bilinear resize to the exact target size. */
+Image resizeBilinear(const Image &src, int new_width, int new_height);
+
+/** Downsample by 2 with a small anti-aliasing blur. */
+Image downsample2x(const Image &src);
+
+/** Central-difference horizontal gradient. */
+Image gradientX(const Image &src);
+
+/** Central-difference vertical gradient. */
+Image gradientY(const Image &src);
+
+/**
+ * Gaussian image pyramid, level 0 = full resolution, each subsequent
+ * level downsampled by 2. Stops early if a level would drop below
+ * @p min_size in either dimension.
+ */
+std::vector<Image> buildPyramid(const Image &src, int levels,
+                                int min_size = 16);
+
+/** Per-pixel absolute difference mean (simple similarity metric). */
+double meanAbsDiff(const Image &a, const Image &b);
+
+} // namespace asv::image
+
+#endif // ASV_IMAGE_OPS_HH

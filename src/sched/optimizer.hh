@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The constrained-optimization tiling scheduler (Sec. 4.2).
+ *
+ * Given a transformed layer (a set of dense sub-convolutions sharing
+ * one ifmap), the optimizer chooses
+ *
+ *  - the ifmap tile size per round (the W/H variables of Fig. 7,
+ *    modeled as a contiguous span of ifmap positions at full channel
+ *    depth, with halo overlap charged multiplicatively),
+ *  - the per-round filter assignment C_k per sub-kernel (Eq. 11),
+ *    solved as a bounded knapsack — items are filters, weights are
+ *    their buffer footprint, values are their MACs — with dynamic
+ *    programming, iterated until all filters are consumed (the
+ *    paper's greedy-DP solver), and
+ *  - the reuse order beta (Eq. 7): ifmap-resident vs weight-resident,
+ *
+ * minimizing sum_i max(l_c^i, l_m^i) (Eq. 5-9) under the
+ * double-buffered capacity constraint (Eq. 10).
+ *
+ * Three modes reproduce the paper's ablation (Fig. 11):
+ *  - Naive: the transformation alone (DCT); each sub-convolution is
+ *    scheduled independently with a fixed untuned policy.
+ *  - ConvR: the reuse optimizer applied per sub-convolution, without
+ *    sharing the ifmap across sub-kernels.
+ *  - Ilar: the full optimizer; sub-kernels share ifmap-resident
+ *    rounds (inter-layer activation reuse).
+ */
+
+#ifndef ASV_SCHED_OPTIMIZER_HH
+#define ASV_SCHED_OPTIMIZER_HH
+
+#include "deconv/transform.hh"
+#include "dnn/layer.hh"
+#include "sched/schedule.hh"
+
+namespace asv::sched
+{
+
+/** Scheduling mode for transformed layers (Fig. 11 ablation). */
+enum class OptMode
+{
+    Naive, //!< DCT only: fixed schedule per sub-convolution
+    ConvR, //!< reuse optimizer per sub-convolution, no ILAR
+    Ilar,  //!< full optimizer with inter-layer activation reuse
+};
+
+/**
+ * Schedule a transformed (or plain convolution) layer.
+ *
+ * @param layer transformed layer from deconv::transformLayer
+ * @param hw    hardware resources (A*, Buf*, B* of Sec. 4.2)
+ * @param mode  optimization mode
+ */
+LayerSchedule scheduleTransformedLayer(
+    const deconv::TransformedLayer &layer, const HardwareConfig &hw,
+    OptMode mode);
+
+/**
+ * Reference solver for validation: enumerates every ifmap span (not
+ * just the geometric ladder) and packs rounds with an exact bounded
+ * knapsack. Exponentially safer but slower — only meant for small
+ * layers in tests and the scheduler ablation bench, where it bounds
+ * the greedy solver's optimality gap.
+ */
+LayerSchedule scheduleTransformedLayerExact(
+    const deconv::TransformedLayer &layer, const HardwareConfig &hw);
+
+/**
+ * Static buffer partition of the baseline accelerator (Sec. 6.2):
+ * fixed fractions of the working buffer for ifmap, weights and
+ * ofmap, shared by every layer of the network.
+ */
+struct BufferPartition
+{
+    double ifmapFrac = 0.4;
+    double weightFrac = 0.4;
+    double ofmapFrac = 0.2;
+};
+
+/**
+ * Schedule a layer on the baseline accelerator: no deconvolution
+ * transformation (deconv executes densely over the zero-inserted
+ * upsampled ifmap) and a fixed buffer partition.
+ */
+LayerSchedule scheduleDenseLayer(const dnn::LayerDesc &layer,
+                                 const HardwareConfig &hw,
+                                 const BufferPartition &part);
+
+/**
+ * Offline exhaustive search for the best uniform static partition of
+ * a network on the baseline (the paper's "strong baseline",
+ * Sec. 6.2).
+ */
+BufferPartition chooseStaticPartition(
+    const std::vector<dnn::LayerDesc> &layers,
+    const HardwareConfig &hw);
+
+/**
+ * Schedule a point-wise / pooling layer on the scalar unit
+ * (activations are fused streams; no DRAM round trips are charged).
+ */
+LayerSchedule scheduleScalarLayer(const dnn::LayerDesc &layer,
+                                  const HardwareConfig &hw);
+
+} // namespace asv::sched
+
+#endif // ASV_SCHED_OPTIMIZER_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tiling-schedule types and the accelerator hardware configuration.
+ *
+ * The scheduler reproduces the constrained-optimization formulation
+ * of Sec. 4.2: minimize layer latency L = sum_i max(l_c^i, l_m^i)
+ * (Eq. 5) subject to the on-chip buffer capacity (Eq. 10) and full
+ * filter coverage (Eq. 11), with the reuse order beta in Eq. 7
+ * choosing whether the ifmap tile or the sub-kernel weights stay
+ * resident across rounds.
+ *
+ * Tiling model: the ifmap is tiled along its outermost spatial
+ * dimension ("rows"; depth slices for 3-D layers) at full width, the
+ * natural streaming order for a systolic array. The tile height and
+ * the per-round filter assignment C_k are the optimization variables
+ * of Fig. 7.
+ */
+
+#ifndef ASV_SCHED_SCHEDULE_HH
+#define ASV_SCHED_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/math_util.hh"
+
+namespace asv::sched
+{
+
+/**
+ * Accelerator hardware resources (Sec. 6.1 defaults): 24x24 PEs at
+ * 1 GHz, 1.5 MB unified double-buffered SRAM, four LPDDR3-1600
+ * channels (25.6 GB/s), 16-bit datapath, 8-lane scalar unit at
+ * 250 MHz.
+ */
+struct HardwareConfig
+{
+    int peRows = 24;
+    int peCols = 24;
+    double clockGhz = 1.0;
+    int64_t bufferBytes = 3 * 512 * 1024; //!< 1.5 MB
+    double dramGbps = 25.6;  //!< off-chip bandwidth, GB/s
+    int bytesPerElem = 2;    //!< 16-bit fixed point
+    int scalarLanes = 8;
+    double scalarClockGhz = 0.25;
+
+    /** Total PE count A* (Eq. 6). */
+    int64_t peCount() const { return int64_t(peRows) * peCols; }
+
+    /** DRAM bytes transferable per accelerator cycle (B*). */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramGbps / clockGhz;
+    }
+
+    /**
+     * Usable working-set bytes per round. The buffer is split into
+     * working and filling halves for double buffering (Sec. 4.2), so
+     * a round's data must fit in half the SRAM.
+     */
+    int64_t workingBytes() const { return bufferBytes / 2; }
+
+    /** Raw peak throughput in ops/s (for reporting). */
+    double
+    peakOpsPerSecond() const
+    {
+        return double(peCount()) * clockGhz * 1e9;
+    }
+};
+
+/** DRAM traffic of one scheduled layer, by stream. */
+struct DramTraffic
+{
+    int64_t ifmapBytes = 0;
+    int64_t weightBytes = 0;
+    int64_t ofmapBytes = 0;
+
+    int64_t
+    total() const
+    {
+        return ifmapBytes + weightBytes + ofmapBytes;
+    }
+
+    DramTraffic &
+    operator+=(const DramTraffic &o)
+    {
+        ifmapBytes += o.ifmapBytes;
+        weightBytes += o.weightBytes;
+        ofmapBytes += o.ofmapBytes;
+        return *this;
+    }
+};
+
+/** Reuse order beta (Eq. 7). */
+enum class ReuseOrder
+{
+    IfmapResident,  //!< ifmap tile stays, weights stream (Eq. 9)
+    WeightResident, //!< weights stay, ifmap tiles stream (Eq. 8)
+};
+
+/** The evaluated cost of one layer under a chosen schedule. */
+struct LayerSchedule
+{
+    std::string layerName;
+    int64_t macs = 0;           //!< useful ops executed
+    int64_t computeCycles = 0;  //!< sum of l_c over rounds
+    int64_t memoryCycles = 0;   //!< sum of l_m over rounds
+    int64_t latencyCycles = 0;  //!< sum of max(l_c, l_m) (Eq. 5)
+    DramTraffic traffic;
+    int64_t sramBytes = 0;      //!< on-chip working-set bytes touched
+    int rounds = 0;
+    int tileRows = 0;           //!< chosen ifmap tile height
+    ReuseOrder order = ReuseOrder::WeightResident;
+    bool usedIlar = false;      //!< sub-kernels shared ifmap rounds
+
+    LayerSchedule &
+    operator+=(const LayerSchedule &o)
+    {
+        macs += o.macs;
+        computeCycles += o.computeCycles;
+        memoryCycles += o.memoryCycles;
+        latencyCycles += o.latencyCycles;
+        traffic += o.traffic;
+        sramBytes += o.sramBytes;
+        rounds += o.rounds;
+        return *this;
+    }
+};
+
+} // namespace asv::sched
+
+#endif // ASV_SCHED_SCHEDULE_HH

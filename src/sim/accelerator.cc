@@ -1,0 +1,132 @@
+#include "sim/accelerator.hh"
+
+#include "common/logging.hh"
+#include "deconv/transform.hh"
+
+namespace asv::sim
+{
+
+namespace
+{
+
+/** CostVolume layers schedule like 1x1 convolutions (Sec. 5.1). */
+dnn::LayerDesc
+asConvEquivalent(const dnn::LayerDesc &layer)
+{
+    if (layer.kind != dnn::LayerKind::CostVolume)
+        return layer;
+    dnn::LayerDesc conv = layer;
+    conv.kind = dnn::LayerKind::Conv;
+    conv.kernel.assign(layer.inSpatial.size(), 1);
+    conv.stride.assign(layer.inSpatial.size(), 1);
+    conv.pad.assign(layer.inSpatial.size(), 0);
+    return conv;
+}
+
+bool
+onScalarUnit(const dnn::LayerDesc &layer)
+{
+    return layer.kind == dnn::LayerKind::Activation ||
+           layer.kind == dnn::LayerKind::Pooling;
+}
+
+} // namespace
+
+const char *
+toString(Variant v)
+{
+    switch (v) {
+      case Variant::Baseline: return "Baseline";
+      case Variant::Dct: return "DCT";
+      case Variant::ConvR: return "ConvR";
+      case Variant::Ilar: return "ILAR";
+    }
+    return "?";
+}
+
+double
+NetworkCost::seconds(const sched::HardwareConfig &hw) const
+{
+    return double(cycles) / (hw.clockGhz * 1e9);
+}
+
+double
+NetworkCost::fps(const sched::HardwareConfig &hw) const
+{
+    const double s = seconds(hw);
+    return s > 0 ? 1.0 / s : 0.0;
+}
+
+NetworkCost
+simulateNetwork(const dnn::Network &net,
+                const sched::HardwareConfig &hw, Variant variant,
+                const EnergyModel &em)
+{
+    NetworkCost cost;
+    cost.network = net.name();
+    cost.variant = variant;
+
+    // The baseline (and the conv layers of the DCT variant) use the
+    // best uniform static buffer partition (Sec. 6.2).
+    sched::BufferPartition part;
+    if (variant == Variant::Baseline || variant == Variant::Dct)
+        part = sched::chooseStaticPartition(net.layers(), hw);
+
+    for (const dnn::LayerDesc &raw : net.layers()) {
+        LayerCost lc;
+        lc.name = raw.name;
+        lc.kind = raw.kind;
+
+        if (onScalarUnit(raw)) {
+            lc.sched = sched::scheduleScalarLayer(raw, hw);
+            lc.energy = layerEnergy(lc.sched, hw, em, true);
+        } else {
+            const dnn::LayerDesc layer = asConvEquivalent(raw);
+            const bool is_deconv =
+                layer.kind == dnn::LayerKind::Deconv;
+
+            switch (variant) {
+              case Variant::Baseline:
+                lc.sched = sched::scheduleDenseLayer(layer, hw, part);
+                break;
+              case Variant::Dct:
+                // Transformation only: transformed deconvolutions
+                // with a fixed schedule; convolutions as baseline.
+                if (is_deconv) {
+                    lc.sched = sched::scheduleTransformedLayer(
+                        deconv::transformLayer(layer), hw,
+                        sched::OptMode::Naive);
+                } else {
+                    lc.sched =
+                        sched::scheduleDenseLayer(layer, hw, part);
+                }
+                break;
+              case Variant::ConvR:
+                lc.sched = sched::scheduleTransformedLayer(
+                    deconv::transformLayer(layer), hw,
+                    sched::OptMode::ConvR);
+                break;
+              case Variant::Ilar:
+                lc.sched = sched::scheduleTransformedLayer(
+                    deconv::transformLayer(layer), hw,
+                    sched::OptMode::Ilar);
+                break;
+            }
+            lc.energy = layerEnergy(lc.sched, hw, em, false);
+
+            if (is_deconv) {
+                cost.deconvCycles += lc.sched.latencyCycles;
+                cost.deconvEnergyJ += lc.energy.total();
+            }
+        }
+
+        cost.cycles += lc.sched.latencyCycles;
+        cost.macs += lc.sched.macs;
+        cost.traffic += lc.sched.traffic;
+        cost.energy += lc.energy;
+        cost.layers.push_back(std::move(lc));
+    }
+    return cost;
+}
+
+} // namespace asv::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Network-level simulation of the ASV accelerator.
+ *
+ * Executes a network layer-wise (the execution model of Sec. 4.2) on
+ * the systolic-array model, dispatching each layer to the right
+ * engine (PE array for conv/deconv/cost-volume, scalar unit for
+ * point-wise layers) under one of the four evaluated variants:
+ *
+ *  - Baseline: generic systolic accelerator; deconvolution executes
+ *    densely over the zero-inserted upsampled ifmap; the on-chip
+ *    buffer uses the best uniform static partition found by offline
+ *    exhaustive search (Sec. 6.2).
+ *  - Dct:   deconvolution transformation only (fixed schedules).
+ *  - ConvR: + data-reuse optimizer per sub-convolution (no ILAR).
+ *  - Ilar:  + inter-layer activation reuse (the full ASV DCO).
+ */
+
+#ifndef ASV_SIM_ACCELERATOR_HH
+#define ASV_SIM_ACCELERATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.hh"
+#include "sched/optimizer.hh"
+#include "sched/schedule.hh"
+#include "sim/energy.hh"
+
+namespace asv::sim
+{
+
+/** Accelerator execution variant (Sec. 6.2 / Fig. 11 ablation). */
+enum class Variant
+{
+    Baseline,
+    Dct,
+    ConvR,
+    Ilar,
+};
+
+const char *toString(Variant v);
+
+/** Simulation result for one layer. */
+struct LayerCost
+{
+    std::string name;
+    dnn::LayerKind kind = dnn::LayerKind::Conv;
+    sched::LayerSchedule sched;
+    EnergyBreakdown energy;
+};
+
+/** Simulation result for a whole network. */
+struct NetworkCost
+{
+    std::string network;
+    Variant variant = Variant::Baseline;
+    int64_t cycles = 0;
+    int64_t macs = 0;
+    sched::DramTraffic traffic;
+    EnergyBreakdown energy;
+    std::vector<LayerCost> layers;
+
+    // Deconvolution-only subtotals (Fig. 11a).
+    int64_t deconvCycles = 0;
+    double deconvEnergyJ = 0.0;
+
+    /** Wall-clock seconds at the configured accelerator clock. */
+    double seconds(const sched::HardwareConfig &hw) const;
+
+    /** Frames per second of one inference. */
+    double fps(const sched::HardwareConfig &hw) const;
+};
+
+/**
+ * Simulate one inference of @p net on the accelerator.
+ *
+ * @param net     workload (from dnn::zoo or hand-built)
+ * @param hw      hardware resources
+ * @param variant execution variant
+ * @param em      energy constants
+ */
+NetworkCost simulateNetwork(const dnn::Network &net,
+                            const sched::HardwareConfig &hw,
+                            Variant variant,
+                            const EnergyModel &em = {});
+
+} // namespace asv::sim
+
+#endif // ASV_SIM_ACCELERATOR_HH

@@ -1,0 +1,31 @@
+#include "sim/energy.hh"
+
+namespace asv::sim
+{
+
+EnergyBreakdown
+layerEnergy(const sched::LayerSchedule &sched,
+            const sched::HardwareConfig &hw, const EnergyModel &em,
+            bool on_scalar_unit)
+{
+    EnergyBreakdown e;
+    const double seconds =
+        double(sched.latencyCycles) / (hw.clockGhz * 1e9);
+
+    if (on_scalar_unit) {
+        e.scalarJ = double(sched.macs) * em.scalarOpPj * 1e-12;
+    } else {
+        e.macJ = double(sched.macs) * em.macPj * 1e-12;
+        e.rfJ = double(sched.macs) * em.rfPjPerMac * 1e-12;
+    }
+    e.sramJ = double(sched.sramBytes) * em.sramPjPerByte * 1e-12;
+    // DRAM traffic also transits the SRAM once on its way in/out.
+    e.sramJ +=
+        double(sched.traffic.total()) * em.sramPjPerByte * 1e-12;
+    e.dramJ = double(sched.traffic.total()) * em.dramPjPerByte *
+              1e-12;
+    e.leakageJ = em.leakageWatts * seconds;
+    return e;
+}
+
+} // namespace asv::sim

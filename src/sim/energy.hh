@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytic energy model of the ASV accelerator.
+ *
+ * Substitution note (DESIGN.md #2): the paper measures energy from a
+ * placed-and-routed 16 nm design with PrimeTime PX and LPDDR3 DRAM
+ * models. Offline we use per-operation energy constants of 16 nm-class
+ * designs from the public literature, applied consistently to every
+ * compared system, so energy *ratios* (the quantities all figures
+ * report) are preserved even though absolute joules are approximate.
+ *
+ * Constants (defaults, 16-bit datapath):
+ *  - MAC / absolute-difference op: 0.2 pJ
+ *  - register-file traffic per MAC: 0.05 pJ
+ *  - SRAM access: 1.0 pJ/byte (MB-class buffer)
+ *  - DRAM access: 100 pJ/byte (LPDDR3-class, ~12 pJ/bit)
+ *  - scalar-unit op: 0.1 pJ
+ *  - leakage: 50 mW
+ */
+
+#ifndef ASV_SIM_ENERGY_HH
+#define ASV_SIM_ENERGY_HH
+
+#include "sched/schedule.hh"
+
+namespace asv::sim
+{
+
+/** Per-operation energy constants. */
+struct EnergyModel
+{
+    double macPj = 0.2;
+    double rfPjPerMac = 0.05;
+    double sramPjPerByte = 1.0;
+    double dramPjPerByte = 100.0;
+    double scalarOpPj = 0.1;
+    double leakageWatts = 0.05;
+};
+
+/** Energy of one simulated component, by source (joules). */
+struct EnergyBreakdown
+{
+    double macJ = 0.0;
+    double rfJ = 0.0;
+    double sramJ = 0.0;
+    double dramJ = 0.0;
+    double scalarJ = 0.0;
+    double leakageJ = 0.0;
+
+    double
+    total() const
+    {
+        return macJ + rfJ + sramJ + dramJ + scalarJ + leakageJ;
+    }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        macJ += o.macJ;
+        rfJ += o.rfJ;
+        sramJ += o.sramJ;
+        dramJ += o.dramJ;
+        scalarJ += o.scalarJ;
+        leakageJ += o.leakageJ;
+        return *this;
+    }
+};
+
+/**
+ * Energy of a scheduled layer running on the systolic array (or the
+ * scalar unit when @p on_scalar_unit).
+ */
+EnergyBreakdown layerEnergy(const sched::LayerSchedule &sched,
+                            const sched::HardwareConfig &hw,
+                            const EnergyModel &em,
+                            bool on_scalar_unit = false);
+
+} // namespace asv::sim
+
+#endif // ASV_SIM_ENERGY_HH

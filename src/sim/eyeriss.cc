@@ -1,0 +1,92 @@
+#include "sim/eyeriss.hh"
+
+#include <cmath>
+
+#include "common/math_util.hh"
+#include "deconv/transform.hh"
+
+namespace asv::sim
+{
+
+NetworkCost
+simulateEyeriss(const dnn::Network &net,
+                const sched::HardwareConfig &hw, bool with_dct,
+                const EyerissConfig &cfg, const EnergyModel &em)
+{
+    NetworkCost cost;
+    cost.network = net.name();
+    cost.variant = with_dct ? Variant::Dct : Variant::Baseline;
+
+    const double eff_pes = double(hw.peCount()) * cfg.utilization;
+    const double bw = hw.dramBytesPerCycle();
+
+    for (const dnn::LayerDesc &layer : net.layers()) {
+        LayerCost lc;
+        lc.name = layer.name;
+        lc.kind = layer.kind;
+        sched::LayerSchedule &s = lc.sched;
+        s.layerName = layer.name;
+
+        const bool is_deconv = layer.kind == dnn::LayerKind::Deconv;
+        const bool pointwise =
+            layer.kind == dnn::LayerKind::Activation ||
+            layer.kind == dnn::LayerKind::Pooling;
+
+        // Useful arithmetic: dense unless the transformation
+        // removed the zero-operand work.
+        int64_t macs = layer.macs();
+        int64_t ifmap_elems = layer.inActivations();
+        if (is_deconv) {
+            if (with_dct) {
+                macs = deconv::transformLayer(layer).totalMacs();
+            } else {
+                // Dense execution streams the zero-inserted
+                // upsampled ifmap.
+                int64_t up = layer.batch * layer.inChannels;
+                const tensor::Shape out = layer.outSpatial();
+                for (size_t d = 0; d < out.size(); ++d)
+                    up *= out[d] + layer.kernel[d] - 1;
+                ifmap_elems = up;
+            }
+        }
+        s.macs = macs;
+
+        const int64_t traffic_bytes = static_cast<int64_t>(
+            cfg.trafficFactor * hw.bytesPerElem *
+            double(ifmap_elems + layer.paramCount() +
+                   layer.outActivations()));
+        s.traffic.ifmapBytes = static_cast<int64_t>(
+            cfg.trafficFactor * hw.bytesPerElem * ifmap_elems);
+        s.traffic.weightBytes = static_cast<int64_t>(
+            cfg.trafficFactor * hw.bytesPerElem *
+            layer.paramCount());
+        s.traffic.ofmapBytes =
+            traffic_bytes - s.traffic.ifmapBytes -
+            s.traffic.weightBytes;
+        s.sramBytes = 2 * traffic_bytes;
+
+        s.computeCycles = static_cast<int64_t>(
+            std::ceil(double(macs) / eff_pes));
+        s.memoryCycles = static_cast<int64_t>(
+            std::ceil(double(traffic_bytes) / bw));
+        s.latencyCycles = std::max(s.computeCycles, s.memoryCycles);
+        s.rounds = 1;
+
+        EnergyModel local = em;
+        local.rfPjPerMac = em.rfPjPerMac * cfg.rfScale;
+        lc.energy = layerEnergy(s, hw, local, pointwise);
+
+        if (is_deconv) {
+            cost.deconvCycles += s.latencyCycles;
+            cost.deconvEnergyJ += lc.energy.total();
+        }
+        cost.cycles += s.latencyCycles;
+        cost.macs += s.macs;
+        cost.traffic += s.traffic;
+        cost.energy += lc.energy;
+        cost.layers.push_back(std::move(lc));
+    }
+    return cost;
+}
+
+} // namespace asv::sim

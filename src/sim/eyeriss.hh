@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Simplified Eyeriss-style spatial-architecture cost model (Fig. 13).
+ *
+ * Substitution note (DESIGN.md #4): the paper drives the public
+ * nn_dataflow simulator; offline we model Eyeriss's row-stationary
+ * dataflow analytically, configured (per Sec. 6.2) with the same PE
+ * count, on-chip memory and DRAM bandwidth as the ASV systolic
+ * configuration. Row-stationary mapping achieves good reuse but
+ * imperfect PE utilization on layers whose shapes do not tile the
+ * PE grid, modeled as a constant effective-utilization derate, and
+ * its NoC-mediated reuse costs a traffic replication factor. The
+ * deconvolution transformation (DCT) can be applied — as the paper
+ * does to obtain the stronger Eyeriss baseline — but ILAR cannot,
+ * since it relies on the systolic scheduler's formulation.
+ */
+
+#ifndef ASV_SIM_EYERISS_HH
+#define ASV_SIM_EYERISS_HH
+
+#include "dnn/network.hh"
+#include "sched/schedule.hh"
+#include "sim/accelerator.hh"
+#include "sim/energy.hh"
+
+namespace asv::sim
+{
+
+/** Eyeriss model parameters. */
+struct EyerissConfig
+{
+    double utilization = 0.58;  //!< effective PE utilization
+    double trafficFactor = 1.6; //!< DRAM traffic replication
+    double rfScale = 0.9;       //!< row-stationary RF efficiency
+};
+
+/**
+ * Simulate one inference on the Eyeriss-style model.
+ *
+ * @param net      workload
+ * @param hw       matched hardware resources (PEs, buffer, DRAM)
+ * @param with_dct apply the deconvolution transformation first
+ */
+NetworkCost simulateEyeriss(const dnn::Network &net,
+                            const sched::HardwareConfig &hw,
+                            bool with_dct,
+                            const EyerissConfig &cfg = {},
+                            const EnergyModel &em = {});
+
+} // namespace asv::sim
+
+#endif // ASV_SIM_EYERISS_HH

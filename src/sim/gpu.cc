@@ -1,0 +1,48 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asv::sim
+{
+
+GpuCost
+simulateGpu(const dnn::Network &net, const GpuConfig &cfg)
+{
+    GpuCost cost;
+    for (const dnn::LayerDesc &layer : net.layers()) {
+        const bool is_deconv = layer.kind == dnn::LayerKind::Deconv;
+        const bool pointwise =
+            layer.kind == dnn::LayerKind::Activation ||
+            layer.kind == dnn::LayerKind::Pooling;
+
+        const double flops = 2.0 * double(layer.macs());
+        double eff = is_deconv ? cfg.deconvEfficiency
+                               : cfg.convEfficiency;
+        if (pointwise)
+            eff = cfg.convEfficiency; // bandwidth-bound anyway
+
+        const double compute_s =
+            flops / (cfg.peakFp16Tflops * 1e12 * eff);
+
+        // Activations + weights stream through DRAM at fp16.
+        int64_t ifmap_elems = layer.inActivations();
+        if (is_deconv) {
+            int64_t up = layer.batch * layer.inChannels;
+            const tensor::Shape out = layer.outSpatial();
+            for (size_t d = 0; d < out.size(); ++d)
+                up *= out[d] + layer.kernel[d] - 1;
+            ifmap_elems = up;
+        }
+        const double bytes =
+            2.0 * double(ifmap_elems + layer.paramCount() +
+                         layer.outActivations());
+        const double memory_s = bytes / (cfg.bandwidthGBps * 1e9);
+
+        cost.seconds += std::max(compute_s, memory_s);
+    }
+    cost.energyJ = cost.seconds * cfg.boardPowerW;
+    return cost;
+}
+
+} // namespace asv::sim

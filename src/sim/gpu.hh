@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Mobile GPU roofline model (Jetson TX2-class Pascal, Sec. 6.1).
+ *
+ * Substitution note (DESIGN.md #3): the paper measures a Jetson TX2
+ * board with its power sensors. Offline we model the 16 nm Parker SoC
+ * GPU as a per-layer roofline: latency is the max of compute time at
+ * derated FP16 peak throughput and memory time at LPDDR4 bandwidth;
+ * energy is board power times latency. Deconvolution executes densely
+ * with an extra efficiency penalty (zero-inserted inputs make the
+ * cuDNN kernels memory-bound), which is what makes stereo DNNs so
+ * slow on mobile GPUs in Fig. 1.
+ */
+
+#ifndef ASV_SIM_GPU_HH
+#define ASV_SIM_GPU_HH
+
+#include "dnn/network.hh"
+
+namespace asv::sim
+{
+
+/** TX2-class GPU parameters. */
+struct GpuConfig
+{
+    double peakFp16Tflops = 1.33; //!< 256 cores x 2 x 1.3 GHz x 2
+    double bandwidthGBps = 59.7;  //!< 128-bit LPDDR4-3733
+    double convEfficiency = 0.35; //!< achieved fraction of peak
+    double deconvEfficiency = 0.15;
+    double boardPowerW = 10.0;    //!< measured-style load power
+};
+
+/** GPU simulation result. */
+struct GpuCost
+{
+    double seconds = 0.0;
+    double energyJ = 0.0;
+
+    double fps() const { return seconds > 0 ? 1.0 / seconds : 0.0; }
+};
+
+/** Simulate one inference of @p net on the GPU model. */
+GpuCost simulateGpu(const dnn::Network &net,
+                    const GpuConfig &cfg = {});
+
+} // namespace asv::sim
+
+#endif // ASV_SIM_GPU_HH

@@ -1,0 +1,50 @@
+#include "sim/overhead.hh"
+
+namespace asv::sim
+{
+
+double
+OverheadReport::peAreaUm2() const
+{
+    return sadAreaUm2PerPe / sadAreaFracOfPe;
+}
+
+double
+OverheadReport::pePowerMw() const
+{
+    return sadPowerMwPerPe / sadPowerFracOfPe;
+}
+
+double
+OverheadReport::extAreaMm2() const
+{
+    return peCount * sadAreaUm2PerPe * 1e-6 + scalarExtAreaMm2;
+}
+
+double
+OverheadReport::extPowerMw() const
+{
+    return peCount * sadPowerMwPerPe + scalarExtPowerMw;
+}
+
+double
+OverheadReport::areaOverheadPct() const
+{
+    return 100.0 * extAreaMm2() / totalAreaMm2;
+}
+
+double
+OverheadReport::powerOverheadPct() const
+{
+    return 100.0 * extPowerMw() / totalPowerMw;
+}
+
+OverheadReport
+computeOverhead(const sched::HardwareConfig &hw)
+{
+    OverheadReport r;
+    r.peCount = hw.peCount();
+    return r;
+}
+
+} // namespace asv::sim

@@ -1,0 +1,154 @@
+#include "stereo/block_matching.hh"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace asv::stereo
+{
+
+namespace
+{
+
+/** SAD between the block at (x, y) in left and (x - d, y) in right. */
+double
+blockSad(const image::Image &left, const image::Image &right, int x,
+         int y, int d, int radius)
+{
+    double sad = 0.0;
+    for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+            sad += std::abs(double(left.atClamped(x + dx, y + dy)) -
+                            right.atClamped(x - d + dx, y + dy));
+        }
+    }
+    return sad;
+}
+
+/**
+ * Parabolic sub-pixel refinement from costs at d-1, d, d+1. Returns
+ * the offset in (-0.5, 0.5) to add to the integer disparity.
+ */
+float
+subpixelOffset(double cm, double c0, double cp)
+{
+    const double denom = cm - 2.0 * c0 + cp;
+    if (denom <= 1e-12)
+        return 0.f;
+    const double off = 0.5 * (cm - cp) / denom;
+    return static_cast<float>(clamp(off, -0.5, 0.5));
+}
+
+/**
+ * Evaluate candidates [d_lo, d_hi] for one pixel and return the best
+ * disparity (with optional sub-pixel refinement and uniqueness
+ * filtering), or kInvalidDisparity if rejected.
+ */
+float
+matchPixel(const image::Image &left, const image::Image &right, int x,
+           int y, int d_lo, int d_hi,
+           const BlockMatchingParams &params)
+{
+    double best_cost = std::numeric_limits<double>::max();
+    double second_cost = best_cost;
+    int best_d = -1;
+    std::vector<double> costs(d_hi - d_lo + 1);
+
+    for (int d = d_lo; d <= d_hi; ++d) {
+        const double c =
+            blockSad(left, right, x, y, d, params.blockRadius);
+        costs[d - d_lo] = c;
+        if (c < best_cost) {
+            second_cost = best_cost;
+            best_cost = c;
+            best_d = d;
+        } else if (c < second_cost) {
+            second_cost = c;
+        }
+    }
+    if (best_d < 0)
+        return kInvalidDisparity;
+
+    if (params.uniquenessRatio > 0.f && second_cost < best_cost * (1.0 + params.uniquenessRatio))
+        return kInvalidDisparity;
+
+    float disp = static_cast<float>(best_d);
+    if (params.subpixel && best_d > d_lo && best_d < d_hi) {
+        disp += subpixelOffset(costs[best_d - d_lo - 1],
+                               costs[best_d - d_lo],
+                               costs[best_d - d_lo + 1]);
+    }
+    return disp;
+}
+
+} // namespace
+
+DisparityMap
+blockMatching(const image::Image &left, const image::Image &right,
+              const BlockMatchingParams &params)
+{
+    panic_if(left.width() != right.width() ||
+                 left.height() != right.height(),
+             "stereo pair size mismatch");
+    fatal_if(params.maxDisparity < 1, "maxDisparity must be >= 1");
+
+    DisparityMap disp(left.width(), left.height());
+    for (int y = 0; y < left.height(); ++y) {
+        for (int x = 0; x < left.width(); ++x) {
+            const int d_hi = std::min(params.maxDisparity, x);
+            disp.at(x, y) =
+                matchPixel(left, right, x, y, 0, d_hi, params);
+        }
+    }
+    return disp;
+}
+
+DisparityMap
+refineDisparity(const image::Image &left, const image::Image &right,
+                const DisparityMap &init, int radius,
+                const BlockMatchingParams &params)
+{
+    panic_if(left.width() != right.width() ||
+                 left.height() != right.height(),
+             "stereo pair size mismatch");
+    panic_if(init.width() != left.width() ||
+                 init.height() != left.height(),
+             "init disparity size mismatch");
+    fatal_if(radius < 0, "negative refinement radius");
+
+    DisparityMap disp(left.width(), left.height());
+    for (int y = 0; y < left.height(); ++y) {
+        for (int x = 0; x < left.width(); ++x) {
+            const float d0 = init.at(x, y);
+            int d_lo, d_hi;
+            if (isValidDisparity(d0)) {
+                const int c = static_cast<int>(std::lround(d0));
+                d_lo = std::max(0, c - radius);
+                d_hi = std::min({params.maxDisparity, x, c + radius});
+                if (d_lo > d_hi)
+                    d_lo = d_hi = std::min(std::max(0, c), x);
+            } else {
+                // Fall back to full search for unseeded pixels.
+                d_lo = 0;
+                d_hi = std::min(params.maxDisparity, x);
+            }
+            disp.at(x, y) =
+                matchPixel(left, right, x, y, d_lo, d_hi, params);
+        }
+    }
+    return disp;
+}
+
+int64_t
+blockMatchingOps(int width, int height, int block_radius,
+                 int candidates)
+{
+    const int64_t taps =
+        int64_t(2 * block_radius + 1) * (2 * block_radius + 1);
+    return int64_t(width) * height * candidates * taps;
+}
+
+} // namespace asv::stereo

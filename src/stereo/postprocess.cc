@@ -1,0 +1,129 @@
+#include "stereo/postprocess.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace asv::stereo
+{
+
+DisparityMap
+medianFilter3x3(const DisparityMap &disp)
+{
+    const int w = disp.width(), h = disp.height();
+    DisparityMap out(w, h);
+    std::vector<float> window;
+    window.reserve(9);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            if (!isValidDisparity(disp.at(x, y))) {
+                out.at(x, y) = disp.at(x, y);
+                continue;
+            }
+            window.clear();
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    const float v = disp.atClamped(x + dx, y + dy);
+                    if (isValidDisparity(v))
+                        window.push_back(v);
+                }
+            }
+            std::nth_element(window.begin(),
+                             window.begin() + window.size() / 2,
+                             window.end());
+            out.at(x, y) = window[window.size() / 2];
+        }
+    }
+    return out;
+}
+
+DisparityMap
+removeSpeckles(const DisparityMap &disp, int min_region,
+               float max_diff)
+{
+    const int w = disp.width(), h = disp.height();
+    DisparityMap out = disp;
+    std::vector<int32_t> label(int64_t(w) * h, -1);
+    std::vector<int64_t> stack;
+
+    int32_t next_label = 0;
+    for (int64_t start = 0; start < int64_t(w) * h; ++start) {
+        if (label[start] >= 0 ||
+            !isValidDisparity(disp.data()[start]))
+            continue;
+
+        // Flood-fill the connected region of similar disparity.
+        std::vector<int64_t> region;
+        stack.assign(1, start);
+        label[start] = next_label;
+        while (!stack.empty()) {
+            const int64_t p = stack.back();
+            stack.pop_back();
+            region.push_back(p);
+            const int x = int(p % w), y = int(p / w);
+            const float d = disp.data()[p];
+            const int nx[4] = {x - 1, x + 1, x, x};
+            const int ny[4] = {y, y, y - 1, y + 1};
+            for (int i = 0; i < 4; ++i) {
+                if (nx[i] < 0 || nx[i] >= w || ny[i] < 0 ||
+                    ny[i] >= h)
+                    continue;
+                const int64_t q = int64_t(ny[i]) * w + nx[i];
+                if (label[q] >= 0 ||
+                    !isValidDisparity(disp.data()[q]))
+                    continue;
+                if (std::abs(disp.data()[q] - d) <= max_diff) {
+                    label[q] = next_label;
+                    stack.push_back(q);
+                }
+            }
+        }
+        if (int(region.size()) < min_region) {
+            for (int64_t p : region)
+                out.data()[p] = kInvalidDisparity;
+        }
+        ++next_label;
+    }
+    return out;
+}
+
+DisparityMap
+fillInvalid(const DisparityMap &disp)
+{
+    const int w = disp.width(), h = disp.height();
+    DisparityMap out = disp;
+    for (int y = 0; y < h; ++y) {
+        // Left-to-right fill.
+        float last = kInvalidDisparity;
+        for (int x = 0; x < w; ++x) {
+            if (isValidDisparity(out.at(x, y)))
+                last = out.at(x, y);
+            else if (isValidDisparity(last))
+                out.at(x, y) = last;
+        }
+        // Right-to-left for the leading margin.
+        last = kInvalidDisparity;
+        for (int x = w - 1; x >= 0; --x) {
+            if (isValidDisparity(out.at(x, y)))
+                last = out.at(x, y);
+            else if (isValidDisparity(last))
+                out.at(x, y) = last;
+        }
+    }
+    return out;
+}
+
+double
+validFraction(const DisparityMap &disp)
+{
+    if (disp.size() == 0)
+        return 0.0;
+    int64_t valid = 0;
+    for (int64_t i = 0; i < disp.size(); ++i)
+        valid += isValidDisparity(disp.data()[i]);
+    return double(valid) / double(disp.size());
+}
+
+} // namespace asv::stereo

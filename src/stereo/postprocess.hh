@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Disparity-map post-processing: the cleanup passes production
+ * stereo pipelines run after matching — median filtering, speckle
+ * removal and invalid-pixel filling. The ISM pipeline can optionally
+ * apply them to non-key frames (they run on the scalar unit in the
+ * ASV mapping and cost a few ops per pixel).
+ */
+
+#ifndef ASV_STEREO_POSTPROCESS_HH
+#define ASV_STEREO_POSTPROCESS_HH
+
+#include <cstdint>
+
+#include "stereo/disparity.hh"
+
+namespace asv::stereo
+{
+
+/**
+ * 3x3 median filter over valid pixels (invalid pixels pass
+ * through); removes salt-and-pepper matching noise while preserving
+ * disparity edges.
+ */
+DisparityMap medianFilter3x3(const DisparityMap &disp);
+
+/**
+ * Invalidate small connected speckles: regions of similar disparity
+ * (within @p max_diff) smaller than @p min_region pixels are marked
+ * invalid (classic OpenCV-style speckle filter).
+ */
+DisparityMap removeSpeckles(const DisparityMap &disp,
+                            int min_region = 24,
+                            float max_diff = 1.f);
+
+/**
+ * Fill invalid pixels from the nearest valid pixel to the left,
+ * falling back to the right (the standard occlusion fill; occluded
+ * background takes the farther surface's disparity).
+ */
+DisparityMap fillInvalid(const DisparityMap &disp);
+
+/** Fraction of pixels carrying a valid disparity. */
+double validFraction(const DisparityMap &disp);
+
+} // namespace asv::stereo
+
+#endif // ASV_STEREO_POSTPROCESS_HH

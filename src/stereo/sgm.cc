@@ -1,0 +1,237 @@
+#include "stereo/sgm.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace asv::stereo
+{
+
+namespace
+{
+
+/** Flat cost volume indexing: v[(y * w + x) * nd + d]. */
+struct VolumeView
+{
+    int width, height, nd;
+
+    int64_t
+    idx(int x, int y, int d) const
+    {
+        return (int64_t(y) * width + x) * nd + d;
+    }
+
+    int64_t size() const { return int64_t(width) * height * nd; }
+};
+
+/**
+ * One semi-global aggregation pass along direction (dx, dy), adding
+ * L_r into @p total. Pixels are visited so that (x-dx, y-dy) is
+ * always processed before (x, y).
+ */
+void
+aggregateDirection(const std::vector<uint16_t> &cost,
+                   const VolumeView &vol, int dx, int dy, int p1,
+                   int p2, std::vector<uint32_t> &total)
+{
+    const int w = vol.width, h = vol.height, nd = vol.nd;
+    std::vector<uint16_t> lr(vol.size());
+
+    const int y_begin = dy >= 0 ? 0 : h - 1;
+    const int y_end = dy >= 0 ? h : -1;
+    const int y_step = dy >= 0 ? 1 : -1;
+    // For dy == 0 the scan order along x must follow dx.
+    const int x_begin = dx >= 0 ? 0 : w - 1;
+    const int x_end = dx >= 0 ? w : -1;
+    const int x_step = dx >= 0 ? 1 : -1;
+
+    for (int y = y_begin; y != y_end; y += y_step) {
+        for (int x = x_begin; x != x_end; x += x_step) {
+            const int px = x - dx, py = y - dy;
+            const bool has_prev =
+                px >= 0 && px < w && py >= 0 && py < h;
+
+            uint16_t prev_min = 0;
+            const uint16_t *prev = nullptr;
+            if (has_prev) {
+                prev = &lr[vol.idx(px, py, 0)];
+                prev_min = *std::min_element(prev, prev + nd);
+            }
+
+            uint16_t *cur = &lr[vol.idx(x, y, 0)];
+            const uint16_t *c = &cost[vol.idx(x, y, 0)];
+            for (int d = 0; d < nd; ++d) {
+                uint32_t best;
+                if (!has_prev) {
+                    best = 0;
+                } else {
+                    best = prev[d];
+                    if (d > 0)
+                        best = std::min<uint32_t>(best,
+                                                  prev[d - 1] + p1);
+                    if (d + 1 < nd)
+                        best = std::min<uint32_t>(best,
+                                                  prev[d + 1] + p1);
+                    best = std::min<uint32_t>(best,
+                                              uint32_t(prev_min) + p2);
+                    best -= prev_min;
+                }
+                const uint32_t v = c[d] + best;
+                cur[d] = static_cast<uint16_t>(
+                    std::min<uint32_t>(v, 0xFFFF));
+                total[vol.idx(x, y, d)] += cur[d];
+            }
+        }
+    }
+}
+
+float
+subpixelOffset(uint32_t cm, uint32_t c0, uint32_t cp)
+{
+    const double denom =
+        double(cm) - 2.0 * double(c0) + double(cp);
+    if (denom <= 1e-12)
+        return 0.f;
+    const double off = 0.5 * (double(cm) - double(cp)) / denom;
+    return static_cast<float>(clamp(off, -0.5, 0.5));
+}
+
+} // namespace
+
+std::vector<uint64_t>
+censusTransform(const image::Image &img, int radius)
+{
+    fatal_if(radius < 1 || radius > 3,
+             "census radius must be in [1, 3] (bits must fit uint64)");
+    std::vector<uint64_t> census(int64_t(img.width()) * img.height());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            const float center = img.at(x, y);
+            uint64_t bits = 0;
+            for (int dy = -radius; dy <= radius; ++dy) {
+                for (int dx = -radius; dx <= radius; ++dx) {
+                    if (dx == 0 && dy == 0)
+                        continue;
+                    bits = (bits << 1) |
+                           (img.atClamped(x + dx, y + dy) < center
+                                ? 1u
+                                : 0u);
+                }
+            }
+            census[int64_t(y) * img.width() + x] = bits;
+        }
+    }
+    return census;
+}
+
+int64_t
+sgmOps(int width, int height, const SgmParams &params)
+{
+    const int64_t pixels = int64_t(width) * height;
+    const int64_t nd = params.maxDisparity + 1;
+    const int64_t census_taps =
+        int64_t(2 * params.censusRadius + 1) *
+        (2 * params.censusRadius + 1);
+    // Census (2 frames) + cost volume + 8 aggregation passes
+    // (~4 ops per (pixel, d)) + WTA.
+    return 2 * pixels * census_taps + pixels * nd +
+           8 * pixels * nd * 4 + pixels * nd;
+}
+
+DisparityMap
+sgmCompute(const image::Image &left, const image::Image &right,
+           const SgmParams &params)
+{
+    panic_if(left.width() != right.width() ||
+                 left.height() != right.height(),
+             "stereo pair size mismatch");
+    const int w = left.width(), h = left.height();
+    const int nd = params.maxDisparity + 1;
+    const VolumeView vol{w, h, nd};
+
+    // 1. Census + Hamming cost volume.
+    const auto cl = censusTransform(left, params.censusRadius);
+    const auto cr = censusTransform(right, params.censusRadius);
+    std::vector<uint16_t> cost(vol.size());
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            for (int d = 0; d < nd; ++d) {
+                const int xr = std::max(0, x - d);
+                const uint64_t diff = cl[int64_t(y) * w + x] ^
+                                      cr[int64_t(y) * w + xr];
+                cost[vol.idx(x, y, d)] =
+                    static_cast<uint16_t>(std::popcount(diff));
+            }
+        }
+    }
+
+    // 2. Eight-path aggregation.
+    std::vector<uint32_t> total(vol.size(), 0);
+    const int dirs[8][2] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
+                            {1, 1},  {-1, 1}, {1, -1}, {-1, -1}};
+    for (const auto &dir : dirs) {
+        aggregateDirection(cost, vol, dir[0], dir[1], params.p1,
+                           params.p2, total);
+    }
+
+    // 3. Winner-take-all with sub-pixel refinement.
+    DisparityMap disp(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const uint32_t *s = &total[vol.idx(x, y, 0)];
+            int best = 0;
+            for (int d = 1; d < nd; ++d)
+                if (s[d] < s[best])
+                    best = d;
+            float dv = static_cast<float>(best);
+            if (params.subpixel && best > 0 && best + 1 < nd)
+                dv += subpixelOffset(s[best - 1], s[best],
+                                     s[best + 1]);
+            disp.at(x, y) = dv;
+        }
+    }
+
+    // 4. Left-right consistency check on the aggregated volume:
+    // disparity of right pixel xr is argmin_d total(xr + d, y, d).
+    if (params.leftRightCheck) {
+        DisparityMap right_disp(w, h);
+        for (int y = 0; y < h; ++y) {
+            for (int xr = 0; xr < w; ++xr) {
+                int best = 0;
+                uint32_t best_v =
+                    std::numeric_limits<uint32_t>::max();
+                for (int d = 0; d < nd; ++d) {
+                    const int xl = xr + d;
+                    if (xl >= w)
+                        break;
+                    const uint32_t v = total[vol.idx(xl, y, d)];
+                    if (v < best_v) {
+                        best_v = v;
+                        best = d;
+                    }
+                }
+                right_disp.at(xr, y) = static_cast<float>(best);
+            }
+        }
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                const int d =
+                    static_cast<int>(std::lround(disp.at(x, y)));
+                const int xr = x - d;
+                if (xr < 0 ||
+                    std::abs(right_disp.at(xr, y) - d) >
+                        params.lrTolerance) {
+                    disp.at(x, y) = kInvalidDisparity;
+                }
+            }
+        }
+    }
+
+    return disp;
+}
+
+} // namespace asv::stereo

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Semi-global matching (SGM) stereo.
+ *
+ * Represents the classic global-ish algorithm family in Fig. 1 (SGBN
+ * and HH are both semi-global-matching variants from Hirschmuller's
+ * work). Pipeline: census transform -> Hamming matching cost volume ->
+ * 8-path semi-global cost aggregation with P1/P2 smoothness penalties
+ * -> winner-take-all with sub-pixel refinement -> optional left-right
+ * consistency check.
+ */
+
+#ifndef ASV_STEREO_SGM_HH
+#define ASV_STEREO_SGM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hh"
+#include "stereo/disparity.hh"
+
+namespace asv::stereo
+{
+
+/** SGM tuning parameters. */
+struct SgmParams
+{
+    int censusRadius = 2;  //!< census window is (2r+1)^2 (<= 5x5 bits)
+    int maxDisparity = 64; //!< disparity range [0, maxDisparity]
+    int p1 = 3;            //!< small-jump penalty (|dd| == 1)
+    int p2 = 40;           //!< large-jump penalty (|dd| > 1)
+    bool subpixel = true;  //!< parabolic sub-pixel interpolation
+    bool leftRightCheck = true; //!< invalidate inconsistent pixels
+    int lrTolerance = 1;   //!< max allowed L/R disagreement (pixels)
+};
+
+/**
+ * Census transform: each pixel becomes a bit string comparing its
+ * (2r+1)^2 - 1 neighbors against the center. Returned as one uint64
+ * per pixel (r <= 3 fits in 48 bits).
+ */
+std::vector<uint64_t> censusTransform(const image::Image &img,
+                                      int radius);
+
+/** Number of arithmetic ops of sgmCompute on a w x h frame. */
+int64_t sgmOps(int width, int height, const SgmParams &params);
+
+/** Run SGM and return the left-reference disparity map. */
+DisparityMap sgmCompute(const image::Image &left,
+                        const image::Image &right,
+                        const SgmParams &params = {});
+
+} // namespace asv::stereo
+
+#endif // ASV_STEREO_SGM_HH

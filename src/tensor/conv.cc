@@ -1,0 +1,98 @@
+#include "tensor/conv.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace asv::tensor
+{
+
+ConvSpec
+ConvSpec::uniform(int spatial_dims, int64_t stride, int64_t pad)
+{
+    ConvSpec spec;
+    spec.stride.assign(spatial_dims, stride);
+    spec.padLo.assign(spatial_dims, pad);
+    spec.padHi.assign(spatial_dims, pad);
+    return spec;
+}
+
+Shape
+convOutShape(const Shape &input, const Shape &weight, const ConvSpec &spec)
+{
+    const int spatial = static_cast<int>(input.size()) - 1;
+    panic_if(spatial < 1, "input must be [C, spatial...]");
+    panic_if(static_cast<int>(weight.size()) != spatial + 2,
+             "weight must be [K, C, kspatial...]; got ",
+             toString(weight));
+    panic_if(weight[1] != input[0], "channel mismatch: input C=",
+             input[0], " weight C=", weight[1]);
+    panic_if(static_cast<int>(spec.stride.size()) != spatial ||
+                 static_cast<int>(spec.padLo.size()) != spatial ||
+                 static_cast<int>(spec.padHi.size()) != spatial,
+             "spec rank mismatch");
+
+    Shape out(spatial + 1);
+    out[0] = weight[0];
+    for (int d = 0; d < spatial; ++d) {
+        const int64_t padded =
+            input[1 + d] + spec.padLo[d] + spec.padHi[d];
+        const int64_t k = weight[2 + d];
+        panic_if(spec.stride[d] < 1, "stride must be >= 1");
+        panic_if(padded < k, "kernel dim ", k,
+                 " larger than padded input ", padded);
+        out[1 + d] = (padded - k) / spec.stride[d] + 1;
+    }
+    return out;
+}
+
+Tensor
+convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
+       ConvOp op, ConvStats *stats)
+{
+    const Shape out_shape = convOutShape(input.shape(), weight.shape(),
+                                         spec);
+    const int spatial = static_cast<int>(input.rank()) - 1;
+    const int64_t in_channels = input.dim(0);
+
+    Tensor out(out_shape);
+
+    // Iterate output positions [K, o...]; for each, reduce over
+    // channels and kernel taps.
+    Shape kspatial(weight.shape().begin() + 2, weight.shape().end());
+    Shape in_idx(spatial + 1);
+    Shape w_idx(spatial + 2);
+
+    forEachIndex(out_shape, [&](std::span<const int64_t> out_idx) {
+        const int64_t k_filter = out_idx[0];
+        double acc = 0.0;
+        w_idx[0] = k_filter;
+        for (int64_t c = 0; c < in_channels; ++c) {
+            in_idx[0] = c;
+            w_idx[1] = c;
+            forEachIndex(kspatial,
+                         [&](std::span<const int64_t> tap) {
+                for (int d = 0; d < spatial; ++d) {
+                    in_idx[1 + d] = out_idx[1 + d] * spec.stride[d] -
+                                    spec.padLo[d] + tap[d];
+                    w_idx[2 + d] = tap[d];
+                }
+                const float a = input.atOrZero(in_idx);
+                const float w = weight.at(std::span<const int64_t>(
+                    w_idx.data(), w_idx.size()));
+                if (stats) {
+                    ++stats->totalOps;
+                    if (a == 0.f)
+                        ++stats->zeroOps;
+                }
+                acc += (op == ConvOp::MAC) ? double(a) * w
+                                           : std::abs(double(a) - w);
+            });
+        }
+        out.at(out_idx) = static_cast<float>(acc);
+    });
+
+    return out;
+}
+
+} // namespace asv::tensor

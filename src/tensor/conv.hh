@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reference N-spatial-dimension convolution (cross-correlation).
+ *
+ * Follows the deep-learning convention: "convolution" computes the
+ * cross-correlation of the input with the kernel (no kernel flip),
+ * which matches the semantics used in Fig. 6 of the ASV paper.
+ *
+ * Layouts:
+ *  - input:  [C, s_0, s_1, ..., s_{N-1}]          (channels first)
+ *  - weight: [K, C, k_0, k_1, ..., k_{N-1}]       (K filters)
+ *  - output: [K, o_0, o_1, ..., o_{N-1}]
+ *
+ * Supports per-dimension stride and asymmetric (lo/hi) zero padding.
+ * Asymmetric padding is required by the deconvolution transformation,
+ * whose sub-convolutions can need one-sided pads (Sec. 4.1).
+ *
+ * The same loop nest also computes sum-of-absolute-differences (SAD)
+ * instead of multiply-accumulate, which is how ASV maps block matching
+ * onto the systolic array (Sec. 3.3 / 5.1): the block is the kernel and
+ * the search window is the input.
+ */
+
+#ifndef ASV_TENSOR_CONV_HH
+#define ASV_TENSOR_CONV_HH
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace asv::tensor
+{
+
+/** Inner reduction performed at every kernel tap. */
+enum class ConvOp
+{
+    MAC, //!< sum += a * w   (canonical convolution)
+    SAD, //!< sum += |a - w| (block-matching mapping, Sec. 3.3)
+};
+
+/** Per-spatial-dimension convolution parameters. */
+struct ConvSpec
+{
+    Shape stride; //!< one entry per spatial dim (>= 1)
+    Shape padLo;  //!< leading zero padding per spatial dim
+    Shape padHi;  //!< trailing zero padding per spatial dim
+
+    /** Uniform stride/pad across @p spatial_dims dimensions. */
+    static ConvSpec uniform(int spatial_dims, int64_t stride,
+                            int64_t pad);
+};
+
+/** Operation counts observed while executing a reference convolution. */
+struct ConvStats
+{
+    int64_t totalOps = 0; //!< every kernel tap visited
+    int64_t zeroOps = 0;  //!< taps whose input operand was exactly 0
+
+    /** Fraction of taps wasted on zero operands. */
+    double
+    zeroFraction() const
+    {
+        return totalOps ? double(zeroOps) / double(totalOps) : 0.0;
+    }
+};
+
+/** Output shape of convNd for the given input/weight/spec. */
+Shape convOutShape(const Shape &input, const Shape &weight,
+                   const ConvSpec &spec);
+
+/**
+ * Reference convolution.
+ *
+ * @param input  [C, spatial...]
+ * @param weight [K, C, kspatial...]
+ * @param spec   stride/padding per spatial dim
+ * @param op     MAC (default) or SAD reduction
+ * @param stats  if non-null, accumulates op counts
+ * @return       [K, outspatial...]
+ */
+Tensor convNd(const Tensor &input, const Tensor &weight,
+              const ConvSpec &spec, ConvOp op = ConvOp::MAC,
+              ConvStats *stats = nullptr);
+
+} // namespace asv::tensor
+
+#endif // ASV_TENSOR_CONV_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Dense N-dimensional float tensor.
+ *
+ * This is the numeric substrate for the functional side of the
+ * reproduction: reference convolution / deconvolution semantics, the
+ * deconvolution transformation's equivalence proofs, and the OF/BM
+ * layers the ISM algorithm maps onto the accelerator. It favours
+ * clarity and exact reproducibility over raw speed; all functional
+ * workloads in the tests and benches are small enough for a naive
+ * implementation.
+ */
+
+#ifndef ASV_TENSOR_TENSOR_HH
+#define ASV_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace asv::tensor
+{
+
+/** Shape/index type: one extent per dimension, row-major layout. */
+using Shape = std::vector<int64_t>;
+
+/** Number of elements in a shape (product of extents). */
+int64_t numElems(const Shape &shape);
+
+/** Human-readable "[a, b, c]" form of a shape. */
+std::string toString(const Shape &shape);
+
+/**
+ * Invoke @p fn for every index vector in row-major order over @p shape.
+ * The span passed to @p fn is reused between calls; copy it if needed.
+ */
+void forEachIndex(const Shape &shape,
+                  const std::function<void(std::span<const int64_t>)> &fn);
+
+/**
+ * A dense row-major N-D tensor of floats.
+ *
+ * Invariants: strides are derived from the shape at construction and
+ * the data vector always holds exactly numElems(shape()) values.
+ */
+class Tensor
+{
+  public:
+    /** An empty 0-element tensor. */
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Construct with the given shape and flat row-major data. */
+    Tensor(Shape shape, std::vector<float> data);
+
+    /** Tensor filled with a constant. */
+    static Tensor full(Shape shape, float value);
+
+    /** Tensor with values 0, 1, 2, ... in row-major order (tests). */
+    static Tensor iota(Shape shape, float start = 0.f);
+
+    const Shape &shape() const { return shape_; }
+    int rank() const { return static_cast<int>(shape_.size()); }
+    int64_t size() const { return static_cast<int64_t>(data_.size()); }
+    int64_t dim(int i) const;
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::vector<float> &flat() { return data_; }
+    const std::vector<float> &flat() const { return data_; }
+
+    /** Row-major flat offset of an index vector (bounds-checked). */
+    int64_t offsetOf(std::span<const int64_t> idx) const;
+
+    /** Element access by index vector (bounds-checked). */
+    float &at(std::span<const int64_t> idx);
+    float at(std::span<const int64_t> idx) const;
+
+    /** Convenience element access for common ranks. */
+    float &at(std::initializer_list<int64_t> idx);
+    float at(std::initializer_list<int64_t> idx) const;
+
+    /**
+     * Element access with zero padding: indices outside the extent
+     * read as 0. Used by convolution inner loops.
+     */
+    float atOrZero(std::span<const int64_t> idx) const;
+
+    /** Set every element to @p value. */
+    void fill(float value);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Count of exactly-zero elements. */
+    int64_t countZeros() const;
+
+    /** Maximum absolute elementwise difference against @p other. */
+    double maxAbsDiff(const Tensor &other) const;
+
+    /** True if shapes match and all elements are within @p atol. */
+    bool allClose(const Tensor &other, double atol = 1e-5) const;
+
+    /** Reshape without changing data (element count must match). */
+    Tensor reshaped(Shape new_shape) const;
+
+  private:
+    void initStrides();
+
+    Shape shape_;
+    Shape strides_;
+    std::vector<float> data_;
+};
+
+} // namespace asv::tensor
+
+#endif // ASV_TENSOR_TENSOR_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the image substrate: container semantics, Gaussian
+ * blur, resize, gradients, pyramids and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "image/image.hh"
+#include "image/io.hh"
+#include "image/ops.hh"
+
+namespace
+{
+
+using namespace asv::image;
+using asv::Rng;
+
+Image
+randomImage(int w, int h, Rng &rng)
+{
+    Image img(w, h);
+    for (auto &v : img.flat())
+        v = float(rng.uniformReal(0, 255));
+    return img;
+}
+
+TEST(Image, BasicAccess)
+{
+    Image img(4, 3);
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_EQ(img.size(), 12);
+    img.at(2, 1) = 7.f;
+    EXPECT_FLOAT_EQ(img.at(2, 1), 7.f);
+}
+
+TEST(Image, ClampedReads)
+{
+    Image img(2, 2);
+    img.at(0, 0) = 1.f;
+    img.at(1, 1) = 4.f;
+    EXPECT_FLOAT_EQ(img.atClamped(-5, -5), 1.f);
+    EXPECT_FLOAT_EQ(img.atClamped(10, 10), 4.f);
+}
+
+TEST(Image, BilinearSampling)
+{
+    Image img(2, 1);
+    img.at(0, 0) = 0.f;
+    img.at(1, 0) = 10.f;
+    EXPECT_FLOAT_EQ(img.sample(0.5f, 0.f), 5.f);
+    EXPECT_FLOAT_EQ(img.sample(0.25f, 0.f), 2.5f);
+}
+
+TEST(GaussianBlur, KernelNormalized)
+{
+    const auto k = gaussianKernel1d(3, 1.0);
+    EXPECT_EQ(k.size(), 7u);
+    const double sum = std::accumulate(k.begin(), k.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    // Symmetric and peaked at the center.
+    EXPECT_FLOAT_EQ(k[0], k[6]);
+    EXPECT_GT(k[3], k[2]);
+}
+
+TEST(GaussianBlur, PreservesConstantImage)
+{
+    Image img(16, 16, 42.f);
+    Image blurred = gaussianBlur(img, 2);
+    EXPECT_NEAR(blurred.maxAbsDiff(img), 0.0, 1e-3);
+}
+
+TEST(GaussianBlur, ReducesVariance)
+{
+    Rng rng(5);
+    Image img = randomImage(32, 32, rng);
+    Image blurred = gaussianBlur(img, 3);
+    auto variance = [](const Image &im) {
+        const double m = im.mean();
+        double v = 0;
+        for (int64_t i = 0; i < im.size(); ++i)
+            v += (im.data()[i] - m) * (im.data()[i] - m);
+        return v / double(im.size());
+    };
+    EXPECT_LT(variance(blurred), variance(img) * 0.5);
+    // DC is preserved (up to border effects).
+    EXPECT_NEAR(blurred.mean(), img.mean(), 3.0);
+}
+
+TEST(GaussianBlur, OpsModel)
+{
+    // Two separable passes of (2r+1) taps each.
+    EXPECT_EQ(gaussianBlurOps(10, 10, 2), int64_t(2) * 5 * 100);
+}
+
+TEST(Resize, SmoothImageRoundTripIsNearLossless)
+{
+    // A linear ramp is reproduced exactly by bilinear interpolation
+    // (up to border phase), so up-down round trips stay tight.
+    Image img(16, 16);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            img.at(x, y) = 3.f * x + 2.f * y;
+    Image up = resizeBilinear(img, 32, 32);
+    Image down = resizeBilinear(up, 16, 16);
+    double max_diff = 0;
+    for (int y = 2; y < 14; ++y)
+        for (int x = 2; x < 14; ++x)
+            max_diff = std::max(
+                max_diff,
+                (double)std::abs(img.at(x, y) - down.at(x, y)));
+    EXPECT_LT(max_diff, 1.5);
+    EXPECT_EQ(up.width(), 32);
+}
+
+TEST(Resize, NoiseRoundTripBoundedOnAverage)
+{
+    // White noise is the worst case for bilinear resampling: the
+    // per-pixel error can be large, but the mean error stays small.
+    Rng rng(6);
+    Image img = randomImage(16, 16, rng);
+    Image up = resizeBilinear(img, 32, 32);
+    Image down = resizeBilinear(up, 16, 16);
+    EXPECT_LT(meanAbsDiff(img, down), 40.0);
+}
+
+TEST(Pyramid, LevelsHalve)
+{
+    Image img(64, 48);
+    auto pyr = buildPyramid(img, 4, 4);
+    ASSERT_EQ(pyr.size(), 4u);
+    EXPECT_EQ(pyr[1].width(), 32);
+    EXPECT_EQ(pyr[2].width(), 16);
+    EXPECT_EQ(pyr[3].height(), 6);
+}
+
+TEST(Pyramid, StopsAtMinSize)
+{
+    Image img(64, 64);
+    auto pyr = buildPyramid(img, 8, 16);
+    // 64 -> 32 -> 16; the next level (8) would drop below 16.
+    EXPECT_EQ(pyr.size(), 3u);
+}
+
+TEST(Gradients, LinearRamp)
+{
+    Image img(8, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            img.at(x, y) = 3.f * x + 5.f * y;
+    Image gx = gradientX(img);
+    Image gy = gradientY(img);
+    // Central difference of a linear ramp is exact in the interior.
+    EXPECT_FLOAT_EQ(gx.at(4, 4), 3.f);
+    EXPECT_FLOAT_EQ(gy.at(4, 4), 5.f);
+}
+
+TEST(ImageIo, PgmRoundTrip)
+{
+    Rng rng(7);
+    Image img = randomImage(20, 10, rng);
+    const std::string path = "/tmp/asv_test_roundtrip.pgm";
+    ASSERT_TRUE(writePgm(img, path, 0.f, 255.f));
+    Image back;
+    ASSERT_TRUE(readPgm(back, path));
+    EXPECT_EQ(back.width(), 20);
+    EXPECT_EQ(back.height(), 10);
+    // 8-bit quantization: within one gray level.
+    EXPECT_LT(back.maxAbsDiff(img), 1.5);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, PfmRoundTripIsExact)
+{
+    Rng rng(8);
+    Image img = randomImage(13, 9, rng);
+    const std::string path = "/tmp/asv_test_roundtrip.pfm";
+    ASSERT_TRUE(writePfm(img, path));
+    Image back;
+    ASSERT_TRUE(readPfm(back, path));
+    EXPECT_DOUBLE_EQ(back.maxAbsDiff(img), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, MissingFileFails)
+{
+    Image img;
+    EXPECT_FALSE(readPgm(img, "/tmp/asv_does_not_exist.pgm"));
+    EXPECT_FALSE(readPfm(img, "/tmp/asv_does_not_exist.pfm"));
+}
+
+} // namespace

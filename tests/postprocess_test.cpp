@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for disparity post-processing (median filter, speckle
+ * removal, invalid filling) and the block-motion estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "data/scene.hh"
+#include "flow/block_motion.hh"
+#include "stereo/disparity.hh"
+#include "stereo/postprocess.hh"
+
+namespace
+{
+
+using namespace asv;
+using namespace asv::stereo;
+
+TEST(Median, RemovesSaltAndPepper)
+{
+    DisparityMap d(9, 9);
+    d.fill(10.f);
+    d.at(4, 4) = 60.f; // single outlier
+    DisparityMap f = medianFilter3x3(d);
+    EXPECT_FLOAT_EQ(f.at(4, 4), 10.f);
+    EXPECT_FLOAT_EQ(f.at(0, 0), 10.f);
+}
+
+TEST(Median, PreservesEdges)
+{
+    // A clean disparity step must survive median filtering.
+    DisparityMap d(10, 6);
+    for (int y = 0; y < 6; ++y)
+        for (int x = 0; x < 10; ++x)
+            d.at(x, y) = x < 5 ? 8.f : 24.f;
+    DisparityMap f = medianFilter3x3(d);
+    EXPECT_FLOAT_EQ(f.at(2, 3), 8.f);
+    EXPECT_FLOAT_EQ(f.at(7, 3), 24.f);
+}
+
+TEST(Median, PassesThroughInvalid)
+{
+    DisparityMap d(5, 5);
+    d.fill(10.f);
+    d.at(2, 2) = kInvalidDisparity;
+    DisparityMap f = medianFilter3x3(d);
+    EXPECT_FALSE(isValidDisparity(f.at(2, 2)));
+}
+
+TEST(Speckle, SmallRegionsAreInvalidated)
+{
+    DisparityMap d(20, 20);
+    d.fill(10.f);
+    // A 3-pixel speckle at a very different disparity.
+    d.at(5, 5) = d.at(6, 5) = d.at(5, 6) = 40.f;
+    DisparityMap f = removeSpeckles(d, /*min_region=*/8, 1.f);
+    EXPECT_FALSE(isValidDisparity(f.at(5, 5)));
+    EXPECT_FALSE(isValidDisparity(f.at(6, 5)));
+    // The large background region survives.
+    EXPECT_TRUE(isValidDisparity(f.at(0, 0)));
+    EXPECT_TRUE(isValidDisparity(f.at(19, 19)));
+}
+
+TEST(Speckle, LargeRegionsSurvive)
+{
+    DisparityMap d(20, 20);
+    d.fill(10.f);
+    for (int y = 4; y < 12; ++y)
+        for (int x = 4; x < 12; ++x)
+            d.at(x, y) = 30.f; // 64 pixels
+    DisparityMap f = removeSpeckles(d, 24, 1.f);
+    EXPECT_TRUE(isValidDisparity(f.at(8, 8)));
+}
+
+TEST(Fill, FillsFromLeftNeighbor)
+{
+    DisparityMap d(6, 1);
+    d.fill(kInvalidDisparity);
+    d.at(1, 0) = 12.f;
+    DisparityMap f = fillInvalid(d);
+    EXPECT_FLOAT_EQ(f.at(0, 0), 12.f); // right-to-left pass
+    EXPECT_FLOAT_EQ(f.at(5, 0), 12.f); // left-to-right pass
+    EXPECT_NEAR(validFraction(f), 1.0, 1e-9);
+}
+
+TEST(Fill, AllInvalidRowStaysInvalid)
+{
+    DisparityMap d(4, 2);
+    d.fill(kInvalidDisparity);
+    d.at(0, 1) = 5.f;
+    DisparityMap f = fillInvalid(d);
+    EXPECT_FALSE(isValidDisparity(f.at(2, 0)));
+    EXPECT_FLOAT_EQ(f.at(3, 1), 5.f);
+}
+
+TEST(ValidFraction, CountsCorrectly)
+{
+    DisparityMap d(4, 1);
+    d.fill(kInvalidDisparity);
+    d.at(0, 0) = 1.f;
+    EXPECT_DOUBLE_EQ(validFraction(d), 0.25);
+}
+
+TEST(BlockMotion, RecoversGlobalTranslation)
+{
+    Rng rng(31);
+    image::Image base = data::makeTexture(96, 64, 8.f, rng);
+    image::Image moved(96, 64);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 96; ++x)
+            moved.at(x, y) = base.atClamped(x - 4, y - 2);
+
+    const flow::FlowField f = flow::blockMotion(base, moved);
+    flow::FlowField gt(96, 64);
+    gt.fill(4.f, 2.f);
+    EXPECT_LT(flow::averageEndpointError(f, gt, 16), 1.0);
+}
+
+TEST(BlockMotion, BlockGranularityIsCoarse)
+{
+    // The paper's Sec. 3.3 objection: all pixels in a block share
+    // one vector, so per-pixel motion boundaries are lost.
+    Rng rng(32);
+    image::Image base = data::makeTexture(64, 32, 8.f, rng);
+    const flow::FlowField f = flow::blockMotion(base, base);
+    flow::BlockMotionParams p;
+    // Within any block, u and v are exactly constant.
+    for (int y = 0; y < p.blockSize; ++y) {
+        for (int x = 0; x < p.blockSize; ++x) {
+            EXPECT_FLOAT_EQ(f.u.at(x, y), f.u.at(0, 0));
+            EXPECT_FLOAT_EQ(f.v.at(x, y), f.v.at(0, 0));
+        }
+    }
+}
+
+TEST(BlockMotion, OpsModelScalesWithWindow)
+{
+    flow::BlockMotionParams small, big;
+    small.searchRadius = 3;
+    big.searchRadius = 7;
+    EXPECT_GT(flow::blockMotionOps(100, 100, big),
+              3 * flow::blockMotionOps(100, 100, small));
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Regression pins: exact values that the reproduction's headline
+ * numbers rest on. Any change to the zoo layer tables, the
+ * transformation arithmetic, the scheduler or the energy constants
+ * that silently shifts a paper-facing result should trip one of
+ * these, forcing the change to be deliberate (and EXPERIMENTS.md to
+ * be re-derived).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/asv_system.hh"
+#include "core/ism.hh"
+#include "deconv/transform.hh"
+#include "dnn/zoo.hh"
+#include "sched/optimizer.hh"
+#include "sim/accelerator.hh"
+#include "sim/overhead.hh"
+
+namespace
+{
+
+using namespace asv;
+
+TEST(Pin, ZooMacTotals)
+{
+    // GMACs of the four stereo networks at 384x1248 / D=192.
+    const struct
+    {
+        const char *name;
+        double gmacs;
+    } expect[] = {
+        {"DispNet", 65.6},
+        {"FlowNetC", 83.9},
+        {"GC-Net", 2262.8},
+        {"PSMNet", 1345.0},
+    };
+    for (const auto &e : expect) {
+        const auto net = dnn::zoo::buildByName(e.name);
+        EXPECT_NEAR(net.stats().totalMacs / 1e9, e.gmacs,
+                    e.gmacs * 0.01)
+            << e.name;
+    }
+}
+
+TEST(Pin, ZooDeconvFractions)
+{
+    // Deconvolution-kind share of all ops (Fig. 3's "DR (deconv)"
+    // bars also include the DR-stage convolutions; this pin tracks
+    // the pure deconv fraction, average 39.2%).
+    const struct
+    {
+        const char *name;
+        double frac;
+    } expect[] = {
+        {"DispNet", 0.307},
+        {"FlowNetC", 0.433},
+        {"GC-Net", 0.303},
+        {"PSMNet", 0.525},
+    };
+    for (const auto &e : expect) {
+        const auto net = dnn::zoo::buildByName(e.name);
+        EXPECT_NEAR(net.stats().deconvFraction(), e.frac, 0.01)
+            << e.name;
+    }
+}
+
+TEST(Pin, TransformationSavingsFactors)
+{
+    // Stride-2: 4x MAC reduction in 2-D, 8x in 3-D (k4 p1).
+    for (int nd : {2, 3}) {
+        dnn::LayerDesc l;
+        l.name = "pin";
+        l.kind = dnn::LayerKind::Deconv;
+        l.inChannels = 16;
+        l.outChannels = 8;
+        l.inSpatial.assign(nd, 8);
+        l.kernel.assign(nd, 4);
+        l.stride.assign(nd, 2);
+        l.pad.assign(nd, 1);
+        const auto t = deconv::transformLayer(l);
+        EXPECT_EQ(l.macs(), (int64_t(1) << nd) * t.totalMacs())
+            << nd << "-D";
+        EXPECT_EQ(t.subConvs.size(), size_t(1) << nd);
+    }
+}
+
+TEST(Pin, BaselineHardwareDerivedQuantities)
+{
+    sched::HardwareConfig hw;
+    EXPECT_EQ(hw.peCount(), 576);
+    EXPECT_DOUBLE_EQ(hw.peakOpsPerSecond(), 576e9); // 1.152 T/s
+                                                    // counting MACs
+    EXPECT_EQ(hw.workingBytes(), 768 * 1024);
+    EXPECT_DOUBLE_EQ(hw.dramBytesPerCycle(), 25.6);
+}
+
+TEST(Pin, OverheadPercentages)
+{
+    const auto r = sim::computeOverhead(sched::HardwareConfig{});
+    EXPECT_NEAR(r.areaOverheadPct(), 0.36, 0.02);
+    EXPECT_NEAR(r.powerOverheadPct(), 0.49, 0.02);
+}
+
+TEST(Pin, NonKeyFrameOpsAtQhd)
+{
+    core::IsmParams p;
+    p.flowScale = 4;
+    p.blockRadius = 2;
+    p.refineRadius = 2;
+    // ~108.6 Mops with the deployment parameters (EXPERIMENTS.md,
+    // Sec. 3.3 entry; paper reports ~87 Mops).
+    EXPECT_NEAR(core::nonKeyFrameOps(960, 540, p) / 1e6, 108.6,
+                2.0);
+}
+
+TEST(Pin, Fig10HeadlineAverages)
+{
+    // The numbers quoted in README.md's headline table.
+    sched::HardwareConfig hw;
+    const auto nets = dnn::zoo::stereoNetworks();
+    double sp_dco = 0, sp_both = 0, en_both = 0;
+    for (const auto &net : nets) {
+        const auto base = core::simulateSystem(
+            net, hw, core::SystemVariant::Baseline);
+        const auto dco = core::simulateSystem(
+            net, hw, core::SystemVariant::DcoOnly);
+        const auto both = core::simulateSystem(
+            net, hw, core::SystemVariant::IsmDco);
+        sp_dco += base.average.seconds / dco.average.seconds /
+                  nets.size();
+        sp_both += base.average.seconds / both.average.seconds /
+                   nets.size();
+        en_both += (1.0 - both.average.energyJ /
+                              base.average.energyJ) /
+                   nets.size();
+    }
+    EXPECT_NEAR(sp_dco, 1.40, 0.05);
+    EXPECT_NEAR(sp_both, 5.07, 0.15);
+    EXPECT_NEAR(en_both, 0.843, 0.02);
+}
+
+TEST(Pin, SchedulerIsDeterministic)
+{
+    dnn::LayerDesc l;
+    l.name = "det";
+    l.kind = dnn::LayerKind::Deconv;
+    l.inChannels = 96;
+    l.outChannels = 48;
+    l.inSpatial = {30, 61};
+    l.kernel = {4, 4};
+    l.stride = {2, 2};
+    l.pad = {1, 1};
+    sched::HardwareConfig hw;
+    const auto a = sched::scheduleTransformedLayer(
+        deconv::transformLayer(l), hw, sched::OptMode::Ilar);
+    const auto b = sched::scheduleTransformedLayer(
+        deconv::transformLayer(l), hw, sched::OptMode::Ilar);
+    EXPECT_EQ(a.latencyCycles, b.latencyCycles);
+    EXPECT_EQ(a.traffic.total(), b.traffic.total());
+    EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Pin, GanZooMacTotalsBatch16)
+{
+    // Dense GMACs at batch 16 (useful arithmetic is checked
+    // elsewhere). Guards the Fig. 14 workload definitions.
+    const struct
+    {
+        const char *name;
+        double gmacs;
+    } expect[] = {
+        {"DCGAN", 26.17},   {"GP-GAN", 17.22}, {"ArtGAN", 34.47},
+        {"MAGAN", 6.64},    {"3D-GAN", 498.22},
+        {"DiscoGAN", 8.30},
+    };
+    for (const auto &e : expect) {
+        bool found = false;
+        for (const auto &net : dnn::zoo::ganNetworks(16)) {
+            if (net.name() != e.name)
+                continue;
+            found = true;
+            EXPECT_NEAR(net.stats().totalMacs / 1e9, e.gmacs,
+                        e.gmacs * 0.01)
+                << e.name;
+        }
+        EXPECT_TRUE(found) << e.name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the accelerator / Eyeriss / GPU simulation models and
+ * the hardware-overhead accounting (Sec. 7.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/zoo.hh"
+#include "sim/accelerator.hh"
+#include "sim/energy.hh"
+#include "sim/eyeriss.hh"
+#include "sim/gpu.hh"
+#include "sim/overhead.hh"
+
+namespace
+{
+
+using namespace asv;
+using namespace asv::sim;
+
+TEST(Accelerator, VariantOrderingOnStereoNets)
+{
+    sched::HardwareConfig hw;
+    for (const auto &net : dnn::zoo::stereoNetworks()) {
+        const auto base =
+            simulateNetwork(net, hw, Variant::Baseline);
+        const auto dct = simulateNetwork(net, hw, Variant::Dct);
+        const auto convr =
+            simulateNetwork(net, hw, Variant::ConvR);
+        const auto ilar = simulateNetwork(net, hw, Variant::Ilar);
+
+        // Each optimization level only helps (Fig. 11).
+        EXPECT_LE(dct.cycles, base.cycles) << net.name();
+        EXPECT_LE(convr.cycles, dct.cycles + dct.cycles / 50)
+            << net.name();
+        EXPECT_LE(ilar.cycles, convr.cycles + convr.cycles / 50)
+            << net.name();
+        EXPECT_LT(ilar.energy.total(), base.energy.total())
+            << net.name();
+
+        // Useful MACs shrink by the deconv zero fraction.
+        EXPECT_LT(ilar.macs, base.macs) << net.name();
+    }
+}
+
+TEST(Accelerator, WholeNetSpeedupInPaperBand)
+{
+    // Fig. 10/11: DCO achieves ~1.4-1.6x whole-network speedup.
+    sched::HardwareConfig hw;
+    double avg = 0;
+    const auto nets = dnn::zoo::stereoNetworks();
+    for (const auto &net : nets) {
+        const auto base =
+            simulateNetwork(net, hw, Variant::Baseline);
+        const auto ilar = simulateNetwork(net, hw, Variant::Ilar);
+        avg += double(base.cycles) / ilar.cycles / nets.size();
+    }
+    EXPECT_GT(avg, 1.2);
+    EXPECT_LT(avg, 2.2);
+}
+
+TEST(Accelerator, EnergyBreakdownSumsToTotal)
+{
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildDcgan();
+    const auto c = simulateNetwork(net, hw, Variant::Ilar);
+    const EnergyBreakdown &e = c.energy;
+    EXPECT_NEAR(e.total(),
+                e.macJ + e.rfJ + e.sramJ + e.dramJ + e.scalarJ +
+                    e.leakageJ,
+                1e-12);
+    EXPECT_GT(e.macJ, 0);
+    EXPECT_GT(e.dramJ, 0);
+}
+
+TEST(Accelerator, PerLayerCostsSumToNetwork)
+{
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildDiscoGan();
+    const auto c = simulateNetwork(net, hw, Variant::Ilar);
+    int64_t cycles = 0;
+    for (const auto &l : c.layers)
+        cycles += l.sched.latencyCycles;
+    EXPECT_EQ(cycles, c.cycles);
+    EXPECT_EQ(c.layers.size(), net.numLayers());
+}
+
+TEST(Eyeriss, SlowerThanSystolicBaselineOnStereoNets)
+{
+    // Fig. 13: the systolic baseline with matched resources is
+    // faster than the Eyeriss-style spatial model.
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildFlowNetC();
+    const auto asv_base =
+        simulateNetwork(net, hw, Variant::Baseline);
+    const auto eyeriss = simulateEyeriss(net, hw, false);
+    EXPECT_GT(eyeriss.cycles, asv_base.cycles / 2);
+    // And full ASV beats Eyeriss by a wide margin.
+    const auto ilar = simulateNetwork(net, hw, Variant::Ilar);
+    EXPECT_GT(double(eyeriss.cycles) / ilar.cycles, 1.5);
+}
+
+TEST(Eyeriss, DctHelpsEyerissToo)
+{
+    // Fig. 13: Eyeriss + transformation is a stronger baseline
+    // (paper: 1.6x speedup, 31% energy saving).
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildGcNet();
+    const auto plain = simulateEyeriss(net, hw, false);
+    const auto with_dct = simulateEyeriss(net, hw, true);
+    const double speedup = double(plain.cycles) / with_dct.cycles;
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 2.5);
+    EXPECT_LT(with_dct.energy.total(), plain.energy.total());
+}
+
+TEST(Gpu, SlowerAndHungrierThanAccelerator)
+{
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildDispNet();
+    const GpuCost gpu = simulateGpu(net);
+    const auto acc = simulateNetwork(net, hw, Variant::Ilar);
+    EXPECT_GT(gpu.seconds, acc.seconds(hw));
+    EXPECT_GT(gpu.energyJ, acc.energy.total());
+    EXPECT_GT(gpu.fps(), 0.01);
+    EXPECT_LT(gpu.fps(), 100.0);
+}
+
+TEST(Gpu, DeconvInefficiencyCosts)
+{
+    GpuConfig eff = {};
+    GpuConfig bad = {};
+    bad.deconvEfficiency = 0.05;
+    const auto net = dnn::zoo::buildDcgan(); // deconv-dominated
+    EXPECT_GT(simulateGpu(net, bad).seconds,
+              simulateGpu(net, eff).seconds);
+}
+
+TEST(Overhead, ReproducesPaperAccounting)
+{
+    sched::HardwareConfig hw;
+    const OverheadReport r = computeOverhead(hw);
+
+    // Per-PE extension: 6.3% area, 2.3% power (Sec. 7.1).
+    EXPECT_NEAR(r.sadAreaUm2PerPe / r.peAreaUm2(), 0.063, 1e-6);
+    EXPECT_NEAR(r.sadPowerMwPerPe / r.pePowerMw(), 0.023, 1e-6);
+
+    // Overall overhead below 0.5% in both area and power.
+    EXPECT_LT(r.areaOverheadPct(), 0.5);
+    EXPECT_LT(r.powerOverheadPct(), 0.5);
+    EXPECT_GT(r.areaOverheadPct(), 0.1);
+    EXPECT_EQ(r.peCount, 576);
+}
+
+TEST(Energy, MoreDramTrafficCostsMoreEnergy)
+{
+    sched::HardwareConfig hw;
+    EnergyModel em;
+    sched::LayerSchedule light, heavy;
+    light.macs = heavy.macs = 1000000;
+    light.latencyCycles = heavy.latencyCycles = 1000;
+    light.traffic.ifmapBytes = 1000;
+    heavy.traffic.ifmapBytes = 1000000;
+    EXPECT_GT(layerEnergy(heavy, hw, em).total(),
+              layerEnergy(light, hw, em).total());
+}
+
+TEST(Energy, LeakageScalesWithLatency)
+{
+    sched::HardwareConfig hw;
+    EnergyModel em;
+    sched::LayerSchedule fast, slow;
+    fast.latencyCycles = 1000;
+    slow.latencyCycles = 1000000;
+    EXPECT_GT(layerEnergy(slow, hw, em).leakageJ,
+              layerEnergy(fast, hw, em).leakageJ * 100);
+}
+
+} // namespace

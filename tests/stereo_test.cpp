@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the classic stereo substrate: triangulation (Eq. 1 /
+ * Fig. 4), disparity metrics, full-search and guided block matching,
+ * census transform and SGM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "data/scene.hh"
+#include "stereo/block_matching.hh"
+#include "stereo/disparity.hh"
+#include "stereo/sgm.hh"
+
+namespace
+{
+
+using namespace asv;
+using namespace asv::stereo;
+
+/** Build a constant-disparity stereo pair from a texture. */
+void
+makePair(const image::Image &tex, int d, image::Image &left,
+         image::Image &right)
+{
+    const int w = tex.width() - d, h = tex.height();
+    left = image::Image(w, h);
+    right = image::Image(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            left.at(x, y) = tex.at(x + d, y);
+            right.at(x, y) = tex.at(x, y); // shifted left by d
+        }
+    }
+}
+
+TEST(Triangulation, Bumblebee2KnownValues)
+{
+    // B = 120 mm, f = 2.5 mm, 7.4 um pixels (Sec. 2.2 / Fig. 4).
+    StereoRig rig;
+    // depth = B*f / (d * pitch): at d = 10 px, depth = 4.054 m.
+    EXPECT_NEAR(rig.depthFromDisparity(10.0), 4.054, 0.01);
+    // Round trip.
+    const double d = rig.disparityFromDepth(15.0);
+    EXPECT_NEAR(rig.depthFromDisparity(d), 15.0, 1e-9);
+}
+
+TEST(Triangulation, DepthErrorGrowsQuadraticallyWithRange)
+{
+    // Fig. 4: the same disparity error hurts far objects much more.
+    StereoRig rig;
+    const double e10 = rig.depthErrorAt(10.0, 0.2);
+    const double e30 = rig.depthErrorAt(30.0, 0.2);
+    EXPECT_GT(e30, e10 * 6.0);
+    // Paper: two tenths of a pixel already costs 0.5 m - 5 m.
+    EXPECT_GT(e30, 0.5);
+    EXPECT_LT(e10, 1.0);
+}
+
+TEST(Triangulation, ZeroDisparityIsInfinitelyFar)
+{
+    StereoRig rig;
+    EXPECT_TRUE(std::isinf(rig.depthFromDisparity(0.0)));
+}
+
+TEST(Metrics, BadPixelRateCountsThreshold)
+{
+    DisparityMap gt(4, 1), pred(4, 1);
+    gt.fill(10.f);
+    pred.at(0, 0) = 10.f;  // exact
+    pred.at(1, 0) = 12.0f; // within 3
+    pred.at(2, 0) = 13.5f; // off by 3.5 -> bad
+    pred.at(3, 0) = kInvalidDisparity; // invalid -> bad
+    EXPECT_NEAR(badPixelRate(pred, gt, 3.0), 50.0, 1e-9);
+}
+
+TEST(Metrics, InvalidGroundTruthIsSkipped)
+{
+    DisparityMap gt(2, 1), pred(2, 1);
+    gt.at(0, 0) = kInvalidDisparity;
+    gt.at(1, 0) = 5.f;
+    pred.fill(5.f);
+    EXPECT_DOUBLE_EQ(badPixelRate(pred, gt, 3.0), 0.0);
+    EXPECT_DOUBLE_EQ(meanAbsDisparityError(pred, gt), 0.0);
+}
+
+TEST(BlockMatching, RecoversConstantDisparity)
+{
+    Rng rng(21);
+    image::Image tex = data::makeTexture(160, 48, 7.f, rng);
+    image::Image left, right;
+    makePair(tex, 12, left, right);
+
+    BlockMatchingParams params;
+    params.maxDisparity = 32;
+    DisparityMap d = blockMatching(left, right, params);
+    // Interior pixels (x >= maxDisparity so the search can reach).
+    DisparityMap gt(left.width(), left.height());
+    gt.fill(12.f);
+    EXPECT_LT(badPixelRate(d, gt, 1.5, /*margin=*/33), 2.0);
+}
+
+TEST(BlockMatching, SubpixelRefinementTightensError)
+{
+    Rng rng(22);
+    image::Image tex = data::makeTexture(160, 48, 7.f, rng);
+    image::Image left, right;
+    makePair(tex, 9, left, right);
+
+    BlockMatchingParams coarse;
+    coarse.maxDisparity = 24;
+    coarse.subpixel = false;
+    BlockMatchingParams fine = coarse;
+    fine.subpixel = true;
+
+    DisparityMap gt(left.width(), left.height());
+    gt.fill(9.f);
+    const double e_coarse = meanAbsDisparityError(
+        blockMatching(left, right, coarse), gt, 26);
+    const double e_fine = meanAbsDisparityError(
+        blockMatching(left, right, fine), gt, 26);
+    EXPECT_LE(e_fine, e_coarse + 1e-9);
+}
+
+TEST(BlockMatching, GuidedRefinementMatchesFullSearch)
+{
+    // ISM step 4: with a good initial estimate, a +-2 window finds
+    // the same answer as the full search.
+    Rng rng(23);
+    image::Image tex = data::makeTexture(160, 48, 7.f, rng);
+    image::Image left, right;
+    makePair(tex, 14, left, right);
+
+    BlockMatchingParams params;
+    params.maxDisparity = 32;
+    DisparityMap full = blockMatching(left, right, params);
+
+    DisparityMap init(left.width(), left.height());
+    init.fill(13.f); // one pixel off: still within the window
+    DisparityMap guided =
+        refineDisparity(left, right, init, 2, params);
+
+    EXPECT_LT(badPixelRate(guided, full, 1.0, 33), 3.0);
+}
+
+TEST(BlockMatching, GuidedSearchFallsBackOnInvalidInit)
+{
+    Rng rng(24);
+    image::Image tex = data::makeTexture(120, 32, 7.f, rng);
+    image::Image left, right;
+    makePair(tex, 8, left, right);
+
+    DisparityMap init(left.width(), left.height());
+    init.fill(kInvalidDisparity);
+    BlockMatchingParams params;
+    params.maxDisparity = 16;
+    DisparityMap d = refineDisparity(left, right, init, 2, params);
+
+    DisparityMap gt(left.width(), left.height());
+    gt.fill(8.f);
+    EXPECT_LT(badPixelRate(d, gt, 1.5, 17), 3.0);
+}
+
+TEST(BlockMatching, OpsModel)
+{
+    // candidates x block taps per pixel.
+    EXPECT_EQ(blockMatchingOps(10, 10, 2, 5),
+              int64_t(100) * 5 * 25);
+}
+
+TEST(Census, BitsEncodeNeighborhoodOrdering)
+{
+    image::Image img(3, 3);
+    // Center 5; neighbors alternate below/above.
+    const float vals[9] = {1, 9, 1, 9, 5, 9, 1, 9, 1};
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 3; ++x)
+            img.at(x, y) = vals[y * 3 + x];
+    const auto census = censusTransform(img, 1);
+    // Center pixel: 8 neighbors, bits set where neighbor < center.
+    // Pattern 1,9,1,9,.,9,1,9,1 -> 10101010... reading row-major:
+    // (1<5)=1,(9<5)=0,1,0,0,1,0,1.
+    EXPECT_EQ(census[4], 0b10100101u);
+}
+
+TEST(Census, InvariantToMonotonicIntensityChange)
+{
+    Rng rng(25);
+    image::Image a = data::makeTexture(32, 32, 6.f, rng);
+    image::Image b = a;
+    for (auto &v : b.flat())
+        v = 2.f * v + 30.f; // monotonic remap
+    EXPECT_EQ(censusTransform(a, 2), censusTransform(b, 2));
+}
+
+TEST(Sgm, RecoversConstantDisparity)
+{
+    Rng rng(26);
+    image::Image tex = data::makeTexture(160, 48, 7.f, rng);
+    image::Image left, right;
+    makePair(tex, 11, left, right);
+
+    SgmParams params;
+    params.maxDisparity = 24;
+    DisparityMap d = sgmCompute(left, right, params);
+    DisparityMap gt(left.width(), left.height());
+    gt.fill(11.f);
+    EXPECT_LT(badPixelRate(d, gt, 1.5, 25), 5.0);
+}
+
+TEST(Sgm, SmoothnessSuppressesSpeckle)
+{
+    // On a two-plane scene, SGM should produce fewer bad pixels
+    // than plain block matching thanks to path aggregation.
+    asv::data::SceneConfig cfg;
+    cfg.width = 160;
+    cfg.height = 64;
+    cfg.numObjects = 3;
+    cfg.maxDisparity = 20.f;
+    cfg.photometricNoise = 2.0f;
+    auto seq = asv::data::generateSequence(cfg, 1, 33);
+    const auto &f = seq.frames[0];
+
+    SgmParams sgm_params;
+    sgm_params.maxDisparity = 24;
+    sgm_params.leftRightCheck = false;
+    DisparityMap sgm_d = sgmCompute(f.left, f.right, sgm_params);
+
+    BlockMatchingParams bm_params;
+    bm_params.maxDisparity = 24;
+    bm_params.blockRadius = 2;
+    DisparityMap bm_d = blockMatching(f.left, f.right, bm_params);
+
+    const double sgm_err =
+        badPixelRate(sgm_d, f.gtDisparity, 3.0, 8);
+    const double bm_err =
+        badPixelRate(bm_d, f.gtDisparity, 3.0, 8);
+    EXPECT_LT(sgm_err, bm_err + 1.0);
+}
+
+TEST(Sgm, LeftRightCheckInvalidatesOcclusions)
+{
+    asv::data::SceneConfig cfg;
+    cfg.width = 128;
+    cfg.height = 48;
+    cfg.numObjects = 2;
+    auto seq = asv::data::generateSequence(cfg, 1, 34);
+    const auto &f = seq.frames[0];
+
+    SgmParams with_check;
+    with_check.maxDisparity = 48;
+    SgmParams without = with_check;
+    without.leftRightCheck = false;
+
+    DisparityMap d1 = sgmCompute(f.left, f.right, with_check);
+    DisparityMap d0 = sgmCompute(f.left, f.right, without);
+
+    int64_t invalid1 = 0, invalid0 = 0;
+    for (int64_t i = 0; i < d1.size(); ++i) {
+        invalid1 += !isValidDisparity(d1.data()[i]);
+        invalid0 += !isValidDisparity(d0.data()[i]);
+    }
+    EXPECT_GT(invalid1, invalid0); // occlusions got filtered
+}
+
+TEST(Sgm, OpsModelScalesWithDisparityRange)
+{
+    SgmParams p16, p64;
+    p16.maxDisparity = 16;
+    p64.maxDisparity = 64;
+    EXPECT_GT(sgmOps(100, 100, p64), 3 * sgmOps(100, 100, p16));
+}
+
+} // namespace

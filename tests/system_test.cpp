@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Integration tests for the system-level ASV simulation (Sec. 5-7):
+ * variant orderings, the ISM amortization arithmetic, and the
+ * headline Fig. 10 bands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/asv_system.hh"
+#include "dnn/zoo.hh"
+
+namespace
+{
+
+using namespace asv;
+using namespace asv::core;
+
+TEST(System, VariantOrdering)
+{
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildFlowNetC();
+    const auto base =
+        simulateSystem(net, hw, SystemVariant::Baseline);
+    const auto ism = simulateSystem(net, hw, SystemVariant::IsmOnly);
+    const auto dco = simulateSystem(net, hw, SystemVariant::DcoOnly);
+    const auto both =
+        simulateSystem(net, hw, SystemVariant::IsmDco);
+
+    EXPECT_LT(ism.average.seconds, base.average.seconds);
+    EXPECT_LT(dco.average.seconds, base.average.seconds);
+    EXPECT_LT(both.average.seconds, ism.average.seconds);
+    EXPECT_LT(both.average.seconds, dco.average.seconds);
+    EXPECT_LT(both.average.energyJ, base.average.energyJ);
+}
+
+TEST(System, IsmAmortizationArithmetic)
+{
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildDispNet();
+    SystemConfig cfg;
+    cfg.ism.propagationWindow = 4;
+    const auto r = simulateSystem(net, hw, SystemVariant::IsmOnly,
+                                  cfg);
+    const double expect =
+        (r.keyFrame.seconds + 3 * r.nonKeyFrame.seconds) / 4;
+    EXPECT_NEAR(r.average.seconds, expect, 1e-12);
+}
+
+TEST(System, NonKeyFramesAreOrdersOfMagnitudeCheaper)
+{
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildGcNet();
+    const auto r =
+        simulateSystem(net, hw, SystemVariant::IsmOnly);
+    EXPECT_LT(r.nonKeyFrame.seconds * 20, r.keyFrame.seconds);
+    EXPECT_LT(r.nonKeyFrame.energyJ * 20, r.keyFrame.energyJ);
+    EXPECT_GT(r.nonKeyOps, 0);
+}
+
+TEST(System, Fig10BandsAcrossNetworks)
+{
+    // Paper averages: ISM 3.3x / 75% energy; DCO 1.57x / 38%;
+    // combined 4.9x / 85%. Accept band-level agreement.
+    sched::HardwareConfig hw;
+    double sp_ism = 0, sp_dco = 0, sp_both = 0;
+    double en_ism = 0, en_both = 0;
+    const auto nets = dnn::zoo::stereoNetworks();
+    for (const auto &net : nets) {
+        const auto base =
+            simulateSystem(net, hw, SystemVariant::Baseline);
+        const auto ism =
+            simulateSystem(net, hw, SystemVariant::IsmOnly);
+        const auto dco =
+            simulateSystem(net, hw, SystemVariant::DcoOnly);
+        const auto both =
+            simulateSystem(net, hw, SystemVariant::IsmDco);
+        sp_ism += base.average.seconds / ism.average.seconds /
+                  nets.size();
+        sp_dco += base.average.seconds / dco.average.seconds /
+                  nets.size();
+        sp_both += base.average.seconds / both.average.seconds /
+                   nets.size();
+        en_ism += (1 - ism.average.energyJ /
+                           base.average.energyJ) /
+                  nets.size();
+        en_both += (1 - both.average.energyJ /
+                            base.average.energyJ) /
+                   nets.size();
+    }
+    EXPECT_GT(sp_ism, 2.8);
+    EXPECT_LT(sp_ism, 4.0); // < PW by construction
+    EXPECT_GT(sp_dco, 1.2);
+    EXPECT_LT(sp_dco, 2.2);
+    EXPECT_GT(sp_both, 4.0);
+    EXPECT_LT(sp_both, 8.0);
+    EXPECT_GT(en_ism, 0.65);
+    EXPECT_GT(en_both, 0.75);
+}
+
+TEST(System, RealTimeWithFullAsv)
+{
+    // Fig. 1: ASV reaches ~30 FPS on 2-D stereo DNNs.
+    sched::HardwareConfig hw;
+    const auto r = simulateSystem(dnn::zoo::buildFlowNetC(), hw,
+                                  SystemVariant::IsmDco);
+    EXPECT_GT(r.fps(), 20.0);
+    const auto base = simulateSystem(dnn::zoo::buildFlowNetC(), hw,
+                                     SystemVariant::Baseline);
+    EXPECT_LT(base.fps(), 15.0); // the baseline is not real-time
+}
+
+TEST(System, LargerPropagationWindowIsFasterButBounded)
+{
+    sched::HardwareConfig hw;
+    const auto net = dnn::zoo::buildDispNet();
+    SystemConfig pw2, pw8;
+    pw2.ism.propagationWindow = 2;
+    pw8.ism.propagationWindow = 8;
+    const auto r2 =
+        simulateSystem(net, hw, SystemVariant::IsmOnly, pw2);
+    const auto r8 =
+        simulateSystem(net, hw, SystemVariant::IsmOnly, pw8);
+    EXPECT_LT(r8.average.seconds, r2.average.seconds);
+    const auto base =
+        simulateSystem(net, hw, SystemVariant::Baseline);
+    // Speedup can never exceed PW.
+    EXPECT_LT(base.average.seconds / r8.average.seconds, 8.0);
+    EXPECT_LT(base.average.seconds / r2.average.seconds, 2.0 + 1e-9);
+}
+
+} // namespace
