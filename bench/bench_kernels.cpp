@@ -122,7 +122,10 @@ BM_Sgm(benchmark::State &state)
             stereo::sgmCompute(left, right, p));
     state.SetItemsProcessed(state.iterations() * n * n);
 }
-BENCHMARK(BM_Sgm)->Arg(64)->Arg(128);
+// 256² is the reference point for the parallel-speedup trajectory:
+// compare ASV_THREADS=1 against ASV_THREADS=4+ (UseRealTime makes
+// the wall clock, not the calling thread's CPU time, the metric).
+BENCHMARK(BM_Sgm)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
 
 } // namespace
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the kernel microbenchmarks and record the results as JSON,
+# seeding the perf trajectory tracked across PRs.
+#
+# Usage: bench/run_benchmarks.sh [output.json]
+#   BUILD_DIR   build tree to use (default: build)
+#   ASV_THREADS worker count for the threaded kernels (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_kernels.json}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j --target bench_kernels
+
+"$BUILD_DIR/bench_kernels" \
+    --benchmark_format=json \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -1,0 +1,204 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace asv
+{
+
+namespace
+{
+
+/**
+ * True on threads that are pool workers. Nested parallelFor() calls
+ * from inside a worker run serially instead of re-entering the queue,
+ * which would deadlock a pool whose workers are all waiting on the
+ * nested loop.
+ */
+thread_local bool t_inWorker = false;
+
+std::mutex g_globalMutex;
+std::unique_ptr<ThreadPool> g_globalPool;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    numThreads_ = threads > 0 ? threads : defaultThreads();
+    // Workers beyond the first; the caller of parallelFor() always
+    // executes one chunk itself, so a pool of N spawns N - 1 threads.
+    for (int i = 1; i < numThreads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_inWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+ThreadPool::partition(int64_t begin, int64_t end, int chunks)
+{
+    std::vector<std::pair<int64_t, int64_t>> out;
+    const int64_t n = end - begin;
+    if (n <= 0 || chunks < 1)
+        return out;
+    const int64_t nc = std::min<int64_t>(chunks, n);
+    const int64_t base = n / nc;
+    const int64_t rem = n % nc;
+    int64_t first = begin;
+    for (int64_t c = 0; c < nc; ++c) {
+        const int64_t len = base + (c < rem ? 1 : 0);
+        out.emplace_back(first, first + len);
+        first += len;
+    }
+    return out;
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)> &body)
+{
+    parallelForChunks(begin, end,
+                      [&body](int64_t first, int64_t last, int) {
+                          body(first, last);
+                      });
+}
+
+void
+ThreadPool::parallelForChunks(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t, int)> &body)
+{
+    if (end <= begin)
+        return;
+    if (numThreads_ <= 1 || end - begin == 1 || t_inWorker) {
+        body(begin, end, 0);
+        return;
+    }
+
+    const auto chunks = partition(begin, end, numThreads_);
+    const int nc = static_cast<int>(chunks.size());
+
+    // Completion latch: pending counts chunks handed to workers. The
+    // latch must be fully drained before this frame unwinds — the
+    // queued tasks capture these locals by reference — so exceptions
+    // (from any chunk) are parked in an exception_ptr and rethrown
+    // only after every chunk finished.
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    int pending = nc - 1;
+    std::exception_ptr error;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int c = 1; c < nc; ++c) {
+            tasks_.emplace_back([&, c] {
+                try {
+                    body(chunks[c].first, chunks[c].second, c);
+                } catch (...) {
+                    std::lock_guard<std::mutex> dl(done_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                {
+                    // Notify while holding the lock: the waiter can
+                    // only unwind (destroying the latch) after
+                    // acquiring done_mutex, so no worker can touch
+                    // done_cv after it is destroyed.
+                    std::lock_guard<std::mutex> dl(done_mutex);
+                    --pending;
+                    done_cv.notify_one();
+                }
+            });
+        }
+    }
+    wake_.notify_all();
+
+    // The caller owns chunk 0.
+    try {
+        body(chunks[0].first, chunks[0].second, 0);
+    } catch (...) {
+        std::lock_guard<std::mutex> dl(done_mutex);
+        if (!error)
+            error = std::current_exception();
+    }
+
+    {
+        std::unique_lock<std::mutex> dl(done_mutex);
+        done_cv.wait(dl, [&] { return pending == 0; });
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("ASV_THREADS")) {
+        char *tail = nullptr;
+        const long v = std::strtol(env, &tail, 10);
+        if (tail && *tail == '\0' && v >= 1 && v <= 1024)
+            return static_cast<int>(v);
+        warn("ignoring invalid ASV_THREADS value '", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_globalMutex);
+    if (!g_globalPool)
+        g_globalPool = std::make_unique<ThreadPool>(0);
+    return *g_globalPool;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    std::lock_guard<std::mutex> lock(g_globalMutex);
+    g_globalPool = std::make_unique<ThreadPool>(threads);
+}
+
+void
+parallelFor(int64_t begin, int64_t end,
+            const std::function<void(int64_t, int64_t)> &body)
+{
+    ThreadPool::global().parallelFor(begin, end, body);
+}
+
+} // namespace asv

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool and deterministic parallel-for.
+ *
+ * Design goals, in priority order:
+ *
+ *  1. **Bit-identical results.** parallelFor() statically partitions
+ *     the iteration range into at most numThreads() contiguous chunks.
+ *     Each index is visited exactly once, by exactly one thread, in
+ *     ascending order within its chunk. Any kernel whose per-index
+ *     work only writes locations derived from that index therefore
+ *     produces output identical to the serial loop, for any worker
+ *     count. With one worker the body runs inline on the caller —
+ *     the exact serial code path, no pool machinery involved.
+ *  2. **No surprises.** Worker count is fixed at construction; the
+ *     global pool honours the ASV_THREADS environment variable
+ *     (1 = serial). Nested parallelFor() calls degrade to serial
+ *     execution instead of deadlocking.
+ *
+ * This is the enabling layer for the row/disparity-level parallelism
+ * that real-time stereo systems exploit (census, SGM aggregation,
+ * SAD search); see ISSUE/ROADMAP.
+ */
+
+#ifndef ASV_COMMON_THREAD_POOL_HH
+#define ASV_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace asv
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with @p threads workers. 0 means "use
+     * defaultThreads()". A pool of 1 spawns no OS threads at all.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count this pool partitions work across (>= 1). */
+    int numThreads() const { return numThreads_; }
+
+    /**
+     * Static partition of [begin, end) into at most @p chunks
+     * contiguous, ascending, non-overlapping [first, last) ranges
+     * whose sizes differ by at most one. Deterministic: depends only
+     * on the arguments.
+     */
+    static std::vector<std::pair<int64_t, int64_t>>
+    partition(int64_t begin, int64_t end, int chunks);
+
+    /**
+     * Run body(first, last) over a static partition of [begin, end)
+     * into numThreads() chunks, blocking until every chunk finished.
+     * Chunk c is passed to at most one thread; the caller executes
+     * one chunk itself. With numThreads() == 1 (or a nested call from
+     * inside a worker) this is exactly `body(begin, end)` inline.
+     */
+    void parallelFor(int64_t begin, int64_t end,
+                     const std::function<void(int64_t, int64_t)> &body);
+
+    /**
+     * As parallelFor(), but the body also receives the chunk index
+     * (0-based, < partition size). Lets callers keep per-chunk
+     * accumulators that are reduced deterministically afterwards.
+     */
+    void parallelForChunks(
+        int64_t begin, int64_t end,
+        const std::function<void(int64_t, int64_t, int)> &body);
+
+    /**
+     * Worker count used by default-constructed pools: the ASV_THREADS
+     * environment variable if set to a positive integer, else
+     * std::thread::hardware_concurrency(), else 1.
+     */
+    static int defaultThreads();
+
+    /**
+     * Process-wide shared pool, lazily created with defaultThreads()
+     * workers. Reconfigure with setGlobalThreads().
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of @p threads workers
+     * (0 = defaultThreads()). Not safe to call while other threads
+     * are using the global pool; intended for tests and start-up.
+     */
+    static void setGlobalThreads(int threads);
+
+  private:
+    void workerLoop();
+
+    int numThreads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> tasks_;
+    bool stop_ = false;
+};
+
+/** parallelFor() on the global pool. */
+void parallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)> &body);
+
+} // namespace asv
+
+#endif // ASV_COMMON_THREAD_POOL_HH

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "common/thread_pool.hh"
 
 namespace asv::stereo
 {
@@ -96,13 +97,16 @@ blockMatching(const image::Image &left, const image::Image &right,
     fatal_if(params.maxDisparity < 1, "maxDisparity must be >= 1");
 
     DisparityMap disp(left.width(), left.height());
-    for (int y = 0; y < left.height(); ++y) {
-        for (int x = 0; x < left.width(); ++x) {
-            const int d_hi = std::min(params.maxDisparity, x);
-            disp.at(x, y) =
-                matchPixel(left, right, x, y, 0, d_hi, params);
+    // Pixels are independent; partition the SAD search by row.
+    parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < left.width(); ++x) {
+                const int d_hi = std::min(params.maxDisparity, x);
+                disp.at(x, y) =
+                    matchPixel(left, right, x, y, 0, d_hi, params);
+            }
         }
-    }
+    });
     return disp;
 }
 
@@ -120,25 +124,28 @@ refineDisparity(const image::Image &left, const image::Image &right,
     fatal_if(radius < 0, "negative refinement radius");
 
     DisparityMap disp(left.width(), left.height());
-    for (int y = 0; y < left.height(); ++y) {
-        for (int x = 0; x < left.width(); ++x) {
-            const float d0 = init.at(x, y);
-            int d_lo, d_hi;
-            if (isValidDisparity(d0)) {
-                const int c = static_cast<int>(std::lround(d0));
-                d_lo = std::max(0, c - radius);
-                d_hi = std::min({params.maxDisparity, x, c + radius});
-                if (d_lo > d_hi)
-                    d_lo = d_hi = std::min(std::max(0, c), x);
-            } else {
-                // Fall back to full search for unseeded pixels.
-                d_lo = 0;
-                d_hi = std::min(params.maxDisparity, x);
+    parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < left.width(); ++x) {
+                const float d0 = init.at(x, y);
+                int d_lo, d_hi;
+                if (isValidDisparity(d0)) {
+                    const int c = static_cast<int>(std::lround(d0));
+                    d_lo = std::max(0, c - radius);
+                    d_hi =
+                        std::min({params.maxDisparity, x, c + radius});
+                    if (d_lo > d_hi)
+                        d_lo = d_hi = std::min(std::max(0, c), x);
+                } else {
+                    // Fall back to full search for unseeded pixels.
+                    d_lo = 0;
+                    d_hi = std::min(params.maxDisparity, x);
+                }
+                disp.at(x, y) =
+                    matchPixel(left, right, x, y, d_lo, d_hi, params);
             }
-            disp.at(x, y) =
-                matchPixel(left, right, x, y, d_lo, d_hi, params);
         }
-    }
+    });
     return disp;
 }
 

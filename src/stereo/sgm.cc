@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "common/thread_pool.hh"
 
 namespace asv::stereo
 {
@@ -108,23 +109,26 @@ censusTransform(const image::Image &img, int radius)
     fatal_if(radius < 1 || radius > 3,
              "census radius must be in [1, 3] (bits must fit uint64)");
     std::vector<uint64_t> census(int64_t(img.width()) * img.height());
-    for (int y = 0; y < img.height(); ++y) {
-        for (int x = 0; x < img.width(); ++x) {
-            const float center = img.at(x, y);
-            uint64_t bits = 0;
-            for (int dy = -radius; dy <= radius; ++dy) {
-                for (int dx = -radius; dx <= radius; ++dx) {
-                    if (dx == 0 && dy == 0)
-                        continue;
-                    bits = (bits << 1) |
-                           (img.atClamped(x + dx, y + dy) < center
-                                ? 1u
-                                : 0u);
+    // Rows are independent; each writes a disjoint slice of census.
+    parallelFor(0, img.height(), [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < img.width(); ++x) {
+                const float center = img.at(x, y);
+                uint64_t bits = 0;
+                for (int dy = -radius; dy <= radius; ++dy) {
+                    for (int dx = -radius; dx <= radius; ++dx) {
+                        if (dx == 0 && dy == 0)
+                            continue;
+                        bits = (bits << 1) |
+                               (img.atClamped(x + dx, y + dy) < center
+                                    ? 1u
+                                    : 0u);
+                    }
                 }
+                census[int64_t(y) * img.width() + x] = bits;
             }
-            census[int64_t(y) * img.width() + x] = bits;
         }
-    }
+    });
     return census;
 }
 
@@ -157,78 +161,117 @@ sgmCompute(const image::Image &left, const image::Image &right,
     const auto cl = censusTransform(left, params.censusRadius);
     const auto cr = censusTransform(right, params.censusRadius);
     std::vector<uint16_t> cost(vol.size());
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            for (int d = 0; d < nd; ++d) {
-                const int xr = std::max(0, x - d);
-                const uint64_t diff = cl[int64_t(y) * w + x] ^
-                                      cr[int64_t(y) * w + xr];
-                cost[vol.idx(x, y, d)] =
-                    static_cast<uint16_t>(std::popcount(diff));
+    parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < w; ++x) {
+                for (int d = 0; d < nd; ++d) {
+                    const int xr = std::max(0, x - d);
+                    const uint64_t diff = cl[int64_t(y) * w + x] ^
+                                          cr[int64_t(y) * w + xr];
+                    cost[vol.idx(x, y, d)] =
+                        static_cast<uint16_t>(std::popcount(diff));
+                }
             }
         }
-    }
+    });
 
-    // 2. Eight-path aggregation.
+    // 2. Eight-path aggregation. Each path is a sequential scan, but
+    // the paths are independent: aggregate into per-chunk partial
+    // volumes in parallel, then reduce. uint32 addition is exact, so
+    // the result is bit-identical to the serial loop for any worker
+    // count (at the cost of one partial volume per busy chunk).
     std::vector<uint32_t> total(vol.size(), 0);
     const int dirs[8][2] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
                             {1, 1},  {-1, 1}, {1, -1}, {-1, -1}};
-    for (const auto &dir : dirs) {
-        aggregateDirection(cost, vol, dir[0], dir[1], params.p1,
-                           params.p2, total);
+    ThreadPool &pool = ThreadPool::global();
+    if (pool.numThreads() <= 1) {
+        for (const auto &dir : dirs) {
+            aggregateDirection(cost, vol, dir[0], dir[1], params.p1,
+                               params.p2, total);
+        }
+    } else {
+        const int nc =
+            int(ThreadPool::partition(0, 8, pool.numThreads()).size());
+        std::vector<std::vector<uint32_t>> partial(nc);
+        pool.parallelForChunks(
+            0, 8, [&](int64_t d0, int64_t d1, int chunk) {
+                partial[chunk].assign(vol.size(), 0);
+                for (int64_t i = d0; i < d1; ++i) {
+                    aggregateDirection(cost, vol, dirs[i][0],
+                                       dirs[i][1], params.p1,
+                                       params.p2, partial[chunk]);
+                }
+            });
+        pool.parallelFor(0, vol.size(), [&](int64_t i0, int64_t i1) {
+            for (int c = 0; c < nc; ++c) {
+                // A nested call degrades to one serial chunk, leaving
+                // the other partials unassigned (and contribution-free).
+                if (int64_t(partial[c].size()) != vol.size())
+                    continue;
+                const uint32_t *p = partial[c].data();
+                for (int64_t i = i0; i < i1; ++i)
+                    total[i] += p[i];
+            }
+        });
     }
 
     // 3. Winner-take-all with sub-pixel refinement.
     DisparityMap disp(w, h);
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            const uint32_t *s = &total[vol.idx(x, y, 0)];
-            int best = 0;
-            for (int d = 1; d < nd; ++d)
-                if (s[d] < s[best])
-                    best = d;
-            float dv = static_cast<float>(best);
-            if (params.subpixel && best > 0 && best + 1 < nd)
-                dv += subpixelOffset(s[best - 1], s[best],
-                                     s[best + 1]);
-            disp.at(x, y) = dv;
+    parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < w; ++x) {
+                const uint32_t *s = &total[vol.idx(x, y, 0)];
+                int best = 0;
+                for (int d = 1; d < nd; ++d)
+                    if (s[d] < s[best])
+                        best = d;
+                float dv = static_cast<float>(best);
+                if (params.subpixel && best > 0 && best + 1 < nd)
+                    dv += subpixelOffset(s[best - 1], s[best],
+                                         s[best + 1]);
+                disp.at(x, y) = dv;
+            }
         }
-    }
+    });
 
     // 4. Left-right consistency check on the aggregated volume:
     // disparity of right pixel xr is argmin_d total(xr + d, y, d).
     if (params.leftRightCheck) {
         DisparityMap right_disp(w, h);
-        for (int y = 0; y < h; ++y) {
-            for (int xr = 0; xr < w; ++xr) {
-                int best = 0;
-                uint32_t best_v =
-                    std::numeric_limits<uint32_t>::max();
-                for (int d = 0; d < nd; ++d) {
-                    const int xl = xr + d;
-                    if (xl >= w)
-                        break;
-                    const uint32_t v = total[vol.idx(xl, y, d)];
-                    if (v < best_v) {
-                        best_v = v;
-                        best = d;
+        parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+            for (int y = int(y0); y < int(y1); ++y) {
+                for (int xr = 0; xr < w; ++xr) {
+                    int best = 0;
+                    uint32_t best_v =
+                        std::numeric_limits<uint32_t>::max();
+                    for (int d = 0; d < nd; ++d) {
+                        const int xl = xr + d;
+                        if (xl >= w)
+                            break;
+                        const uint32_t v = total[vol.idx(xl, y, d)];
+                        if (v < best_v) {
+                            best_v = v;
+                            best = d;
+                        }
+                    }
+                    right_disp.at(xr, y) = static_cast<float>(best);
+                }
+            }
+        });
+        parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+            for (int y = int(y0); y < int(y1); ++y) {
+                for (int x = 0; x < w; ++x) {
+                    const int d =
+                        static_cast<int>(std::lround(disp.at(x, y)));
+                    const int xr = x - d;
+                    if (xr < 0 ||
+                        std::abs(right_disp.at(xr, y) - d) >
+                            params.lrTolerance) {
+                        disp.at(x, y) = kInvalidDisparity;
                     }
                 }
-                right_disp.at(xr, y) = static_cast<float>(best);
             }
-        }
-        for (int y = 0; y < h; ++y) {
-            for (int x = 0; x < w; ++x) {
-                const int d =
-                    static_cast<int>(std::lround(disp.at(x, y)));
-                const int xr = x - d;
-                if (xr < 0 ||
-                    std::abs(right_disp.at(xr, y) - d) >
-                        params.lrTolerance) {
-                    disp.at(x, y) = kInvalidDisparity;
-                }
-            }
-        }
+        });
     }
 
     return disp;

@@ -1,8 +1,11 @@
 #include "tensor/conv.hh"
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace asv::tensor
 {
@@ -57,40 +60,81 @@ convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
 
     Tensor out(out_shape);
 
-    // Iterate output positions [K, o...]; for each, reduce over
-    // channels and kernel taps.
+    // Iterate output positions [K, o...] in row-major order; for
+    // each, reduce over channels and kernel taps. Output elements are
+    // independent, so the flat output range is statically partitioned
+    // across the pool; every element is computed by exactly one
+    // thread with the serial reduction order, so results are
+    // bit-identical for any worker count. Op counters accumulate
+    // per chunk and are reduced in chunk order (exact integer sums).
     Shape kspatial(weight.shape().begin() + 2, weight.shape().end());
-    Shape in_idx(spatial + 1);
-    Shape w_idx(spatial + 2);
 
-    forEachIndex(out_shape, [&](std::span<const int64_t> out_idx) {
-        const int64_t k_filter = out_idx[0];
-        double acc = 0.0;
-        w_idx[0] = k_filter;
-        for (int64_t c = 0; c < in_channels; ++c) {
-            in_idx[0] = c;
-            w_idx[1] = c;
-            forEachIndex(kspatial,
-                         [&](std::span<const int64_t> tap) {
-                for (int d = 0; d < spatial; ++d) {
-                    in_idx[1 + d] = out_idx[1 + d] * spec.stride[d] -
-                                    spec.padLo[d] + tap[d];
-                    w_idx[2 + d] = tap[d];
-                }
-                const float a = input.atOrZero(in_idx);
-                const float w = weight.at(std::span<const int64_t>(
-                    w_idx.data(), w_idx.size()));
-                if (stats) {
-                    ++stats->totalOps;
-                    if (a == 0.f)
-                        ++stats->zeroOps;
-                }
-                acc += (op == ConvOp::MAC) ? double(a) * w
-                                           : std::abs(double(a) - w);
-            });
+    ThreadPool &pool = ThreadPool::global();
+    const size_t nc =
+        ThreadPool::partition(0, out.size(), pool.numThreads()).size();
+    std::vector<ConvStats> local(std::max<size_t>(nc, 1));
+
+    pool.parallelForChunks(0, out.size(), [&](int64_t o_begin,
+                                              int64_t o_end,
+                                              int chunk) {
+        ConvStats *st = stats ? &local[chunk] : nullptr;
+        Shape out_idx(spatial + 1);
+        Shape in_idx(spatial + 1);
+        Shape w_idx(spatial + 2);
+
+        // Decompose the chunk's first flat offset into an index
+        // vector, then advance it odometer-style.
+        int64_t rem = o_begin;
+        for (int d = spatial; d >= 0; --d) {
+            out_idx[d] = rem % out_shape[d];
+            rem /= out_shape[d];
         }
-        out.at(out_idx) = static_cast<float>(acc);
+
+        for (int64_t o = o_begin; o < o_end; ++o) {
+            const int64_t k_filter = out_idx[0];
+            double acc = 0.0;
+            w_idx[0] = k_filter;
+            for (int64_t c = 0; c < in_channels; ++c) {
+                in_idx[0] = c;
+                w_idx[1] = c;
+                forEachIndex(kspatial,
+                             [&](std::span<const int64_t> tap) {
+                    for (int d = 0; d < spatial; ++d) {
+                        in_idx[1 + d] =
+                            out_idx[1 + d] * spec.stride[d] -
+                            spec.padLo[d] + tap[d];
+                        w_idx[2 + d] = tap[d];
+                    }
+                    const float a = input.atOrZero(in_idx);
+                    const float w =
+                        weight.at(std::span<const int64_t>(
+                            w_idx.data(), w_idx.size()));
+                    if (st) {
+                        ++st->totalOps;
+                        if (a == 0.f)
+                            ++st->zeroOps;
+                    }
+                    acc += (op == ConvOp::MAC)
+                               ? double(a) * w
+                               : std::abs(double(a) - w);
+                });
+            }
+            out.data()[o] = static_cast<float>(acc);
+
+            for (int d = spatial; d >= 0; --d) {
+                if (++out_idx[d] < out_shape[d])
+                    break;
+                out_idx[d] = 0;
+            }
+        }
     });
+
+    if (stats) {
+        for (const ConvStats &st : local) {
+            stats->totalOps += st.totalOps;
+            stats->zeroOps += st.zeroOps;
+        }
+    }
 
     return out;
 }
