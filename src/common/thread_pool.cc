@@ -14,12 +14,15 @@ namespace
 {
 
 /**
- * True on threads that are pool workers. Nested parallelFor() calls
- * from inside a worker run serially instead of re-entering the queue,
- * which would deadlock a pool whose workers are all waiting on the
- * nested loop.
+ * The pool this thread is a worker of (nullptr on non-worker
+ * threads). A nested parallelFor() on the *same* pool runs serially
+ * instead of re-entering the queue, which would deadlock a pool
+ * whose workers are all waiting on the nested loop. Nesting across
+ * *different* pools is fine — e.g. a StreamPipeline stage running on
+ * that pipeline's private executor still fans its kernels out on the
+ * global pool — so the guard is per-pool, not a global flag.
  */
-thread_local bool t_inWorker = false;
+thread_local const ThreadPool *t_workerOf = nullptr;
 
 std::mutex g_globalMutex;
 std::unique_ptr<ThreadPool> g_globalPool;
@@ -49,7 +52,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop()
 {
-    t_inWorker = true;
+    t_workerOf = this;
     for (;;) {
         std::function<void()> task;
         {
@@ -104,7 +107,7 @@ ThreadPool::parallelForChunks(
 {
     if (end <= begin)
         return;
-    if (numThreads_ <= 1 || end - begin == 1 || t_inWorker) {
+    if (numThreads_ <= 1 || end - begin == 1 || t_workerOf == this) {
         body(begin, end, 0);
         return;
     }

@@ -14,8 +14,9 @@
  *     the exact serial code path, no pool machinery involved.
  *  2. **No surprises.** Worker count is fixed at construction; the
  *     global pool honours the ASV_THREADS environment variable
- *     (1 = serial). Nested parallelFor() calls degrade to serial
- *     execution instead of deadlocking.
+ *     (1 = serial). Nested parallelFor() calls on the same pool
+ *     degrade to serial execution instead of deadlocking; nesting
+ *     across different pools still parallelizes.
  *
  * This is the enabling layer for the row/disparity-level parallelism
  * that real-time stereo systems exploit (census, SGM aggregation,
@@ -29,8 +30,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -80,6 +84,43 @@ class ThreadPool
     void parallelForChunks(
         int64_t begin, int64_t end,
         const std::function<void(int64_t, int64_t, int)> &body);
+
+    /**
+     * Enqueue an arbitrary task and return a std::future for its
+     * result. Tasks are executed by the pool's worker threads in FIFO
+     * order (the dependency-safety property StreamPipeline relies
+     * on: a task only ever waits on futures of tasks submitted
+     * before it, which are popped from the queue first). A pool of 1
+     * has no worker threads, so the task runs inline in submit() —
+     * the returned future is already ready.
+     *
+     * Unlike parallelFor(), the caller does not participate in
+     * execution: a pool of N runs at most N - 1 submitted tasks
+     * concurrently.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        // packaged_task is move-only but std::function requires
+        // copyable callables; shared_ptr bridges the two.
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        bool inline_run;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inline_run = workers_.empty() || stop_;
+            if (!inline_run)
+                tasks_.emplace_back([task] { (*task)(); });
+        }
+        if (inline_run)
+            (*task)();
+        else
+            wake_.notify_one();
+        return future;
+    }
 
     /**
      * Worker count used by default-constructed pools: the ASV_THREADS

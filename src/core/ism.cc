@@ -10,6 +10,9 @@
 namespace asv::core
 {
 
+// params is passed by copy, not moved: arguments are indeterminately
+// sequenced, so reading propagationWindow here must not race a move
+// of the same object.
 IsmPipeline::IsmPipeline(IsmParams params, KeyFrameFn key_frame_source)
     : IsmPipeline(params, std::move(key_frame_source),
                   makeStaticSequencer(params.propagationWindow))
@@ -38,23 +41,38 @@ IsmPipeline::reset()
     sequencer_->reset();
 }
 
-flow::FlowField
-IsmPipeline::estimateFlow(const image::Image &from,
-                          const image::Image &to) const
+bool
+ismDecideKeyFrame(KeyFrameSequencer &sequencer,
+                  const image::Image &left, int64_t frame_index,
+                  bool has_prev_disparity)
 {
-    const int s = std::max(1, params_.flowScale);
-    if (params_.motion == MotionEstimator::BlockMatching)
+    const bool sequencer_key =
+        sequencer.isKeyFrame(left, frame_index);
+    const bool is_key = sequencer_key || !has_prev_disparity;
+    // Keep stateful sequencers in sync with forced key frames they
+    // did not request (first frame after reset, resolution change,
+    // or a key-frame source that produced no disparity).
+    if (is_key && !sequencer_key)
+        sequencer.keyFrameForced(left);
+    return is_key;
+}
+
+flow::FlowField
+ismFlow(const image::Image &from, const image::Image &to,
+        const IsmParams &p)
+{
+    const int s = std::max(1, p.flowScale);
+    if (p.motion == MotionEstimator::BlockMatching)
         return flow::blockMotion(from, to);
     if (s == 1)
-        return flow::farnebackFlow(from, to, params_.flowParams);
+        return flow::farnebackFlow(from, to, p.flowParams);
 
     // Motion at reduced resolution, upsampled and rescaled.
     const int sw = std::max(16, from.width() / s);
     const int sh = std::max(16, from.height() / s);
     const image::Image f0 = image::resizeBilinear(from, sw, sh);
     const image::Image f1 = image::resizeBilinear(to, sw, sh);
-    flow::FlowField small =
-        flow::farnebackFlow(f0, f1, params_.flowParams);
+    flow::FlowField small = flow::farnebackFlow(f0, f1, p.flowParams);
 
     flow::FlowField full(from.width(), from.height());
     full.u = image::resizeBilinear(small.u, from.width(),
@@ -70,6 +88,82 @@ IsmPipeline::estimateFlow(const image::Image &from,
     return full;
 }
 
+stereo::DisparityMap
+ismPropagate(const image::Image &left, const image::Image &right,
+             const stereo::DisparityMap &prev_disparity,
+             const flow::FlowField &flow_l,
+             const flow::FlowField &flow_r, const IsmParams &p)
+{
+    const int w = left.width(), h = left.height();
+    panic_if(prev_disparity.width() != w ||
+                 prev_disparity.height() != h,
+             "previous disparity size mismatch");
+    panic_if(flow_l.width() != w || flow_l.height() != h ||
+                 flow_r.width() != w || flow_r.height() != h,
+             "flow field size mismatch");
+
+    // Step 2 + 3: reconstruct correspondence pairs from the previous
+    // disparity map and move both endpoints.
+    stereo::DisparityMap init(w, h);
+    init.fill(stereo::kInvalidDisparity);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const float d = prev_disparity.at(x, y);
+            if (!stereo::isValidDisparity(d))
+                continue;
+            const float xr = float(x) - d;
+            if (xr < 0)
+                continue;
+
+            const float xl1 = x + flow_l.u.at(x, y);
+            const float yl1 = y + flow_l.v.at(x, y);
+            const float xr1 = xr + flow_r.u.sample(xr, float(y));
+            const float yr1 =
+                float(y) + flow_r.v.sample(xr, float(y));
+            (void)yr1; // rectified pairs stay on the same row
+
+            const float d1 = xl1 - xr1;
+            const int tx = int(std::lround(xl1));
+            const int ty = int(std::lround(yl1));
+            if (tx < 0 || tx >= w || ty < 0 || ty >= h)
+                continue;
+            if (d1 < 0 || d1 > float(p.maxDisparity))
+                continue;
+            // Nearest surface wins on collisions (occlusion).
+            if (!stereo::isValidDisparity(init.at(tx, ty)) ||
+                d1 > init.at(tx, ty)) {
+                init.at(tx, ty) = d1;
+            }
+        }
+    }
+
+    // Fill scatter holes from row neighbors so that the guided
+    // search has a seed everywhere possible.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int y = 0; y < h; ++y) {
+            for (int xi = 0; xi < w; ++xi) {
+                const int x = pass == 0 ? xi : w - 1 - xi;
+                if (stereo::isValidDisparity(init.at(x, y)))
+                    continue;
+                const int nx = pass == 0 ? x - 1 : x + 1;
+                if (nx >= 0 && nx < w &&
+                    stereo::isValidDisparity(init.at(nx, y)))
+                    init.at(x, y) = init.at(nx, y);
+            }
+        }
+    }
+
+    // Step 4: refine with a guided 1-D SAD search.
+    stereo::BlockMatchingParams bm;
+    bm.blockRadius = p.blockRadius;
+    bm.maxDisparity = p.maxDisparity;
+    stereo::DisparityMap disparity = stereo::refineDisparity(
+        left, right, init, p.refineRadius, bm);
+    if (p.medianPostprocess)
+        disparity = stereo::medianFilter3x3(disparity);
+    return disparity;
+}
+
 IsmFrameResult
 IsmPipeline::processFrame(const image::Image &left,
                           const image::Image &right)
@@ -78,10 +172,20 @@ IsmPipeline::processFrame(const image::Image &left,
                  left.height() != right.height(),
              "stereo pair size mismatch");
 
+    // A mid-stream resolution change invalidates all temporal state:
+    // the stored frames can no longer feed the flow estimator (which
+    // panics on a size mismatch) and the previous disparity refers to
+    // a different grid. Drop it and restart from a key frame.
+    if (!prevLeft_.empty() && (prevLeft_.width() != left.width() ||
+                               prevLeft_.height() != left.height())) {
+        prevLeft_ = image::Image();
+        prevRight_ = image::Image();
+        prevDisparity_ = stereo::DisparityMap();
+    }
+
     IsmFrameResult result;
-    const bool is_key =
-        sequencer_->isKeyFrame(left, frameIndex_) ||
-        prevDisparity_.empty();
+    const bool is_key = ismDecideKeyFrame(
+        *sequencer_, left, frameIndex_, !prevDisparity_.empty());
     ++frameIndex_;
 
     if (is_key) {
@@ -90,77 +194,17 @@ IsmPipeline::processFrame(const image::Image &left,
         result.keyFrame = true;
         result.arithmeticOps = 0; // charged to the DNN accelerator
     } else {
-        const int w = left.width(), h = left.height();
-
-        // Step 3: propagate both sides by dense optical flow.
-        const flow::FlowField flow_l = estimateFlow(prevLeft_, left);
+        // Step 3: propagate both sides by dense optical flow, then
+        // steps 2-4: move the correspondences and refine.
+        const flow::FlowField flow_l =
+            ismFlow(prevLeft_, left, params_);
         const flow::FlowField flow_r =
-            estimateFlow(prevRight_, right);
-
-        // Step 2 + 3: reconstruct correspondence pairs from the
-        // previous disparity map and move both endpoints.
-        stereo::DisparityMap init(w, h);
-        init.fill(stereo::kInvalidDisparity);
-        for (int y = 0; y < h; ++y) {
-            for (int x = 0; x < w; ++x) {
-                const float d = prevDisparity_.at(x, y);
-                if (!stereo::isValidDisparity(d))
-                    continue;
-                const float xr = float(x) - d;
-                if (xr < 0)
-                    continue;
-
-                const float xl1 = x + flow_l.u.at(x, y);
-                const float yl1 = y + flow_l.v.at(x, y);
-                const float xr1 =
-                    xr + flow_r.u.sample(xr, float(y));
-                const float yr1 =
-                    float(y) + flow_r.v.sample(xr, float(y));
-                (void)yr1; // rectified pairs stay on the same row
-
-                const float d1 = xl1 - xr1;
-                const int tx = int(std::lround(xl1));
-                const int ty = int(std::lround(yl1));
-                if (tx < 0 || tx >= w || ty < 0 || ty >= h)
-                    continue;
-                if (d1 < 0 || d1 > float(params_.maxDisparity))
-                    continue;
-                // Nearest surface wins on collisions (occlusion).
-                if (!stereo::isValidDisparity(init.at(tx, ty)) ||
-                    d1 > init.at(tx, ty)) {
-                    init.at(tx, ty) = d1;
-                }
-            }
-        }
-
-        // Fill scatter holes from row neighbors so that the guided
-        // search has a seed everywhere possible.
-        for (int pass = 0; pass < 2; ++pass) {
-            for (int y = 0; y < h; ++y) {
-                for (int xi = 0; xi < w; ++xi) {
-                    const int x = pass == 0 ? xi : w - 1 - xi;
-                    if (stereo::isValidDisparity(init.at(x, y)))
-                        continue;
-                    const int nx = pass == 0 ? x - 1 : x + 1;
-                    if (nx >= 0 && nx < w &&
-                        stereo::isValidDisparity(init.at(nx, y)))
-                        init.at(x, y) = init.at(nx, y);
-                }
-            }
-        }
-
-        // Step 4: refine with a guided 1-D SAD search.
-        stereo::BlockMatchingParams bm;
-        bm.blockRadius = params_.blockRadius;
-        bm.maxDisparity = params_.maxDisparity;
-        result.disparity = stereo::refineDisparity(
-            left, right, init, params_.refineRadius, bm);
-        if (params_.medianPostprocess)
-            result.disparity =
-                stereo::medianFilter3x3(result.disparity);
+            ismFlow(prevRight_, right, params_);
+        result.disparity = ismPropagate(left, right, prevDisparity_,
+                                        flow_l, flow_r, params_);
         result.keyFrame = false;
         result.arithmeticOps =
-            nonKeyFrameOps(w, h, params_);
+            nonKeyFrameOps(left.width(), left.height(), params_);
     }
 
     prevLeft_ = left;

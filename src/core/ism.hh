@@ -81,9 +81,56 @@ using KeyFrameFn = std::function<stereo::DisparityMap(
     const image::Image &left, const image::Image &right)>;
 
 /**
+ * The key/non-key decision, shared by IsmPipeline and StreamPipeline
+ * so the two stay bit-identical by construction: consults the
+ * sequencer, promotes the frame to a key frame when no previous
+ * disparity exists, and reports forced promotions back through
+ * KeyFrameSequencer::keyFrameForced(). Callers advance their frame
+ * index afterwards.
+ */
+bool ismDecideKeyFrame(KeyFrameSequencer &sequencer,
+                       const image::Image &left, int64_t frame_index,
+                       bool has_prev_disparity);
+
+/**
+ * Stage 1 of a non-key frame: dense motion estimation between
+ * consecutive frames of one camera, at 1/flowScale resolution,
+ * upsampled and rescaled back (Sec. 3.3). Depends only on the two
+ * input frames — never on a previous frame's *result* — which is
+ * what lets StreamPipeline run it eagerly while the predecessor
+ * frame is still in flight.
+ */
+flow::FlowField ismFlow(const image::Image &from,
+                        const image::Image &to, const IsmParams &p);
+
+/**
+ * Stages 2-4 of a non-key frame: reconstruct correspondence pairs
+ * from the predecessor's disparity map, move both endpoints by the
+ * per-camera flows, fill scatter holes from row neighbors, and
+ * refine with the guided 1-D SAD search (plus the optional median).
+ * This is the only part of a non-key frame that depends on the
+ * predecessor's output.
+ *
+ * @param prev_disparity disparity of the previous frame; must be
+ *                       non-empty and match the pair's dimensions
+ */
+stereo::DisparityMap ismPropagate(const image::Image &left,
+                                  const image::Image &right,
+                                  const stereo::DisparityMap &prev_disparity,
+                                  const flow::FlowField &flow_l,
+                                  const flow::FlowField &flow_r,
+                                  const IsmParams &p);
+
+/**
  * Stateful ISM pipeline over a stereo video. Feed frames in order;
  * every propagationWindow-th frame (starting with the first) runs
  * the key-frame source, the rest are propagated and refined.
+ *
+ * A frame whose dimensions differ from the previous pair's resets
+ * the temporal state and runs as a (forced) key frame; forced key
+ * frames the sequencer did not request are reported back through
+ * KeyFrameSequencer::keyFrameForced() so stateful policies stay in
+ * sync with what actually executed.
  */
 class IsmPipeline
 {
@@ -105,9 +152,6 @@ class IsmPipeline
     const IsmParams &params() const { return params_; }
 
   private:
-    flow::FlowField estimateFlow(const image::Image &from,
-                                 const image::Image &to) const;
-
     IsmParams params_;
     KeyFrameFn keyFrameSource_;
     std::unique_ptr<KeyFrameSequencer> sequencer_;

@@ -59,6 +59,16 @@ AdaptiveSequencer::isKeyFrame(const image::Image &left,
     return key;
 }
 
+void
+AdaptiveSequencer::keyFrameForced(const image::Image &left)
+{
+    // The frame ran as a key frame even though isKeyFrame() said no:
+    // re-anchor the reference image and the window counter so change
+    // detection tracks the key frame that actually executed.
+    lastKey_ = left;
+    sinceKey_ = 0;
+}
+
 std::unique_ptr<KeyFrameSequencer>
 makeStaticSequencer(int pw)
 {

@@ -37,6 +37,20 @@ class KeyFrameSequencer
     virtual bool isKeyFrame(const image::Image &left,
                             int64_t frame_index) = 0;
 
+    /**
+     * Notification that the pipeline promoted a frame to a key frame
+     * that this sequencer did not request (e.g. the very first frame
+     * after a reset, or a mid-stream resolution change). Stateful
+     * policies must re-anchor their change detection on @p left or
+     * their notion of "frames since the last key frame" drifts from
+     * what actually ran. Called after isKeyFrame() returned false
+     * for the same frame. Default: no-op (stateless policies).
+     */
+    virtual void keyFrameForced(const image::Image &left)
+    {
+        (void)left;
+    }
+
     /** Forget all state (new sequence). */
     virtual void reset() = 0;
 };
@@ -68,6 +82,7 @@ class AdaptiveSequencer : public KeyFrameSequencer
 
     bool isKeyFrame(const image::Image &left,
                     int64_t frame_index) override;
+    void keyFrameForced(const image::Image &left) override;
     void reset() override;
 
     /** Frames since the last key frame (diagnostics). */

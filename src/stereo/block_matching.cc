@@ -1,5 +1,6 @@
 #include "stereo/block_matching.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -54,7 +55,6 @@ matchPixel(const image::Image &left, const image::Image &right, int x,
            const BlockMatchingParams &params)
 {
     double best_cost = std::numeric_limits<double>::max();
-    double second_cost = best_cost;
     int best_d = -1;
     std::vector<double> costs(d_hi - d_lo + 1);
 
@@ -63,18 +63,36 @@ matchPixel(const image::Image &left, const image::Image &right, int x,
             blockSad(left, right, x, y, d, params.blockRadius);
         costs[d - d_lo] = c;
         if (c < best_cost) {
-            second_cost = best_cost;
             best_cost = c;
             best_d = d;
-        } else if (c < second_cost) {
-            second_cost = c;
         }
     }
     if (best_d < 0)
         return kInvalidDisparity;
 
-    if (params.uniquenessRatio > 0.f && second_cost < best_cost * (1.0 + params.uniquenessRatio))
-        return kInvalidDisparity;
+    if (params.uniquenessRatio > 0.f) {
+        // Second-best over candidates at least 2 away from the best
+        // (OpenCV semantics): the immediate neighbors of a minimum on
+        // a smooth SAD surface are always nearly as good, so counting
+        // them as "second best" would reject nearly every pixel —
+        // fatal for guided refinement, where all candidates are
+        // adjacent integers. A window with no candidate beyond the
+        // exclusion zone has no rival to compare against and keeps
+        // the match.
+        double second_cost = std::numeric_limits<double>::max();
+        for (int d = d_lo; d <= d_hi; ++d) {
+            if (std::abs(d - best_d) <= 1)
+                continue;
+            second_cost = std::min(second_cost, costs[d - d_lo]);
+        }
+        // Reject unless the rival is strictly worse than the best
+        // by the ratio. <= (not <) so that exact ties — e.g. a
+        // periodic texture matching perfectly at two disparities —
+        // are rejected even when the best cost is zero.
+        if (second_cost < std::numeric_limits<double>::max() &&
+            second_cost <= best_cost * (1.0 + params.uniquenessRatio))
+            return kInvalidDisparity;
+    }
 
     float disp = static_cast<float>(best_d);
     if (params.subpixel && best_d > d_lo && best_d < d_hi) {

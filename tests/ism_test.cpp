@@ -165,6 +165,80 @@ TEST(Ism, ResetRestartsKeyFrameCadence)
                     .keyFrame);
 }
 
+TEST(Ism, MidStreamResolutionChangeForcesKeyFrame)
+{
+    // Regression: a non-key frame with a different size than the
+    // stored previous pair used to reach farnebackFlow, which panics
+    // on the size mismatch. The pipeline must drop its temporal
+    // state and restart from a (forced) key frame instead.
+    data::SceneConfig big;
+    big.width = 128;
+    big.height = 64;
+    data::SceneConfig small_cfg;
+    small_cfg.width = 96;
+    small_cfg.height = 48;
+    auto seq_a = data::generateSequence(big, 2, 31);
+    auto seq_b = data::generateSequence(small_cfg, 3, 32);
+    std::vector<const data::StereoFrame *> frames;
+    for (const auto &f : seq_a.frames)
+        frames.push_back(&f);
+    for (const auto &f : seq_b.frames)
+        frames.push_back(&f);
+
+    const data::StereoFrame *current = nullptr;
+    IsmParams params;
+    params.propagationWindow = 4;
+    IsmPipeline ism(params,
+                    [&](const image::Image &, const image::Image &) {
+                        return current->gtDisparity;
+                    });
+
+    // Static PW-4 would key only frames 0 and 4; the resolution
+    // change at frame 2 forces an extra key frame there.
+    const bool expect_key[] = {true, false, true, false, true};
+    for (size_t i = 0; i < frames.size(); ++i) {
+        current = frames[i];
+        const auto r =
+            ism.processFrame(current->left, current->right);
+        EXPECT_EQ(r.keyFrame, expect_key[i]) << "frame " << i;
+        EXPECT_EQ(r.disparity.width(), current->left.width())
+            << "frame " << i;
+        EXPECT_EQ(r.disparity.height(), current->left.height())
+            << "frame " << i;
+    }
+}
+
+TEST(Ism, ForcedKeyFrameResyncsAdaptiveSequencer)
+{
+    // Regression: when processFrame promotes a frame to key because
+    // prevDisparity_ is empty (here: the key-frame source failed and
+    // returned an empty map on frame 0), AdaptiveSequencer never saw
+    // the promotion and its lastKey_/sinceKey_ drifted from what
+    // actually ran. With the keyFrameForced() notification, the max
+    // window is counted from the forced key at frame 1, so the next
+    // cadence key lands on frame 5 (stale counting re-keyed frame 4).
+    image::Image flat_l(64, 48, 120.f), flat_r(64, 48, 120.f);
+    int calls = 0;
+    IsmParams params;
+    IsmPipeline ism(
+        params,
+        [&](const image::Image &, const image::Image &) {
+            if (calls++ == 0)
+                return stereo::DisparityMap(); // failed inference
+            stereo::DisparityMap d(64, 48);
+            d.fill(5.f);
+            return d;
+        },
+        makeAdaptiveSequencer(/*change_threshold=*/1e6,
+                              /*max_window=*/4));
+
+    const bool expect_key[] = {true, true, false, false, false, true};
+    for (int t = 0; t < 6; ++t) {
+        const auto r = ism.processFrame(flat_l, flat_r);
+        EXPECT_EQ(r.keyFrame, expect_key[t]) << "frame " << t;
+    }
+}
+
 TEST(Ism, NonKeyOpsMatchSec33Budget)
 {
     // Sec. 3.3: "computing a non-key frame requires about 87

@@ -57,6 +57,37 @@ TEST(AdaptiveSequencer, SceneChangeTriggersKeyFrame)
     EXPECT_FALSE(seq.isKeyFrame(b, 3));
 }
 
+TEST(AdaptiveSequencer, KeyFrameForcedResyncsReference)
+{
+    // When the pipeline promotes a frame the sequencer rejected
+    // (e.g. after a resolution change or a failed key inference),
+    // the notification must re-anchor change detection on the frame
+    // that actually ran as the key.
+    AdaptiveSequencer seq(4.0, 100);
+    image::Image a(16, 16, 100.f);
+    image::Image b(16, 16, 180.f);
+    EXPECT_TRUE(seq.isKeyFrame(a, 0));
+    EXPECT_FALSE(seq.isKeyFrame(a, 1));
+    seq.keyFrameForced(b);
+    EXPECT_EQ(seq.framesSinceKey(), 0);
+    // b is the reference now: staying at b is quiet, a is a change.
+    EXPECT_FALSE(seq.isKeyFrame(b, 2));
+    EXPECT_TRUE(seq.isKeyFrame(a, 3));
+}
+
+TEST(StaticSequencer, KeyFrameForcedIsANoOp)
+{
+    // The paper's static policy is a pure function of the frame
+    // index; forced key frames must not shift its cadence.
+    StaticSequencer seq(3);
+    image::Image img(8, 8);
+    EXPECT_TRUE(seq.isKeyFrame(img, 0));
+    EXPECT_FALSE(seq.isKeyFrame(img, 1));
+    seq.keyFrameForced(img);
+    EXPECT_FALSE(seq.isKeyFrame(img, 2));
+    EXPECT_TRUE(seq.isKeyFrame(img, 3));
+}
+
 TEST(AdaptiveSequencer, ResetForgetsReference)
 {
     AdaptiveSequencer seq(4.0, 100);

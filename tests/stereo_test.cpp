@@ -21,7 +21,16 @@ namespace
 using namespace asv;
 using namespace asv::stereo;
 
-/** Build a constant-disparity stereo pair from a texture. */
+/**
+ * Build a constant-disparity stereo pair from a texture, following
+ * the matcher's convention x_right = x_left - d: the right view is
+ * the texture shifted left by d, so left pixel x (texture column x)
+ * appears in the right view at x - d. (An earlier version had the
+ * shift on the wrong image, encoding disparity -d — unreachable by
+ * the [0, maxDisparity] search — which went unnoticed because the
+ * metrics' border margins excluded every row of the short test
+ * images, making the assertions vacuous.)
+ */
 void
 makePair(const image::Image &tex, int d, image::Image &left,
          image::Image &right)
@@ -31,8 +40,8 @@ makePair(const image::Image &tex, int d, image::Image &left,
     right = image::Image(w, h);
     for (int y = 0; y < h; ++y) {
         for (int x = 0; x < w; ++x) {
-            left.at(x, y) = tex.at(x + d, y);
-            right.at(x, y) = tex.at(x, y); // shifted left by d
+            left.at(x, y) = tex.at(x, y);
+            right.at(x, y) = tex.at(x + d, y); // shifted left by d
         }
     }
 }
@@ -90,7 +99,7 @@ TEST(Metrics, InvalidGroundTruthIsSkipped)
 TEST(BlockMatching, RecoversConstantDisparity)
 {
     Rng rng(21);
-    image::Image tex = data::makeTexture(160, 48, 7.f, rng);
+    image::Image tex = data::makeTexture(160, 80, 7.f, rng);
     image::Image left, right;
     makePair(tex, 12, left, right);
 
@@ -105,10 +114,20 @@ TEST(BlockMatching, RecoversConstantDisparity)
 
 TEST(BlockMatching, SubpixelRefinementTightensError)
 {
+    // A genuinely fractional shift (d = 8.5) that integer matching
+    // cannot express: parabolic interpolation must land closer to
+    // the true disparity than the best integer candidate.
     Rng rng(22);
-    image::Image tex = data::makeTexture(160, 48, 7.f, rng);
-    image::Image left, right;
-    makePair(tex, 9, left, right);
+    image::Image tex = data::makeTexture(160, 80, 7.f, rng);
+    const float d_true = 8.5f;
+    const int w = tex.width() - 10, h = tex.height();
+    image::Image left(w, h), right(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            left.at(x, y) = tex.at(x, y);
+            right.at(x, y) = tex.sample(float(x) + d_true, float(y));
+        }
+    }
 
     BlockMatchingParams coarse;
     coarse.maxDisparity = 24;
@@ -116,13 +135,14 @@ TEST(BlockMatching, SubpixelRefinementTightensError)
     BlockMatchingParams fine = coarse;
     fine.subpixel = true;
 
-    DisparityMap gt(left.width(), left.height());
-    gt.fill(9.f);
+    DisparityMap gt(w, h);
+    gt.fill(d_true);
     const double e_coarse = meanAbsDisparityError(
         blockMatching(left, right, coarse), gt, 26);
     const double e_fine = meanAbsDisparityError(
         blockMatching(left, right, fine), gt, 26);
-    EXPECT_LE(e_fine, e_coarse + 1e-9);
+    EXPECT_GE(e_coarse, 0.45); // integer matching is stuck at +-0.5
+    EXPECT_LT(e_fine, e_coarse);
 }
 
 TEST(BlockMatching, GuidedRefinementMatchesFullSearch)
@@ -130,7 +150,7 @@ TEST(BlockMatching, GuidedRefinementMatchesFullSearch)
     // ISM step 4: with a good initial estimate, a +-2 window finds
     // the same answer as the full search.
     Rng rng(23);
-    image::Image tex = data::makeTexture(160, 48, 7.f, rng);
+    image::Image tex = data::makeTexture(160, 80, 7.f, rng);
     image::Image left, right;
     makePair(tex, 14, left, right);
 
@@ -149,7 +169,7 @@ TEST(BlockMatching, GuidedRefinementMatchesFullSearch)
 TEST(BlockMatching, GuidedSearchFallsBackOnInvalidInit)
 {
     Rng rng(24);
-    image::Image tex = data::makeTexture(120, 32, 7.f, rng);
+    image::Image tex = data::makeTexture(120, 48, 7.f, rng);
     image::Image left, right;
     makePair(tex, 8, left, right);
 
@@ -162,6 +182,73 @@ TEST(BlockMatching, GuidedSearchFallsBackOnInvalidInit)
     DisparityMap gt(left.width(), left.height());
     gt.fill(8.f);
     EXPECT_LT(badPixelRate(d, gt, 1.5, 17), 3.0);
+}
+
+/**
+ * Fraction of valid pixels, ignoring an x margin (where the search
+ * range is truncated) and a y margin (block-window border).
+ */
+double
+validFraction(const DisparityMap &d, int xmargin, int ymargin)
+{
+    int64_t valid = 0, total = 0;
+    for (int y = ymargin; y < d.height() - ymargin; ++y) {
+        for (int x = xmargin; x < d.width() - xmargin; ++x) {
+            ++total;
+            valid += isValidDisparity(d.at(x, y));
+        }
+    }
+    return total ? double(valid) / double(total) : 0.0;
+}
+
+TEST(BlockMatching, UniquenessKeepsUnambiguousGuidedMatches)
+{
+    // Regression: the uniqueness filter used to count the immediate
+    // neighbors of the best disparity as the "second best", so any
+    // positive ratio rejected nearly every pixel on a smooth SAD
+    // surface — fatal in guided refinement, where all candidates
+    // are adjacent integers. Neighbors within +-1 of the best are
+    // now excluded (OpenCV semantics). A noisy rendered scene keeps
+    // the best cost strictly positive, which is where the old
+    // filter rejected everything.
+    data::SceneConfig cfg;
+    cfg.width = 160;
+    cfg.height = 80;
+    auto seq = data::generateSequence(cfg, 1, 26);
+    const auto &f = seq.frames[0];
+
+    BlockMatchingParams params;
+    params.maxDisparity = 48;
+    params.uniquenessRatio = 0.15f;
+    DisparityMap guided =
+        refineDisparity(f.left, f.right, f.gtDisparity, 2, params);
+
+    EXPECT_GT(validFraction(guided, 8, 5), 0.8);
+    EXPECT_LT(badPixelRate(guided, f.gtDisparity, 3.0, 6), 10.0);
+}
+
+TEST(BlockMatching, UniquenessRejectsPeriodicAmbiguity)
+{
+    // Vertical stripes with period 8 shifted by 8: every multiple
+    // of the period matches exactly, so a genuine second minimum
+    // exists far from the best. The filter must reject these pixels
+    // (without it, ties resolve to the first — wrong — candidate).
+    image::Image tex(160, 32);
+    for (int y = 0; y < tex.height(); ++y)
+        for (int x = 0; x < tex.width(); ++x)
+            tex.at(x, y) = (x / 4) % 2 ? 200.f : 50.f;
+    image::Image left, right;
+    makePair(tex, 8, left, right);
+
+    BlockMatchingParams plain;
+    plain.maxDisparity = 32;
+    BlockMatchingParams unique = plain;
+    unique.uniquenessRatio = 0.1f;
+
+    EXPECT_GT(validFraction(blockMatching(left, right, plain), 33, 5),
+              0.9);
+    EXPECT_LT(validFraction(blockMatching(left, right, unique), 33, 5),
+              0.1);
 }
 
 TEST(BlockMatching, OpsModel)

@@ -135,6 +135,27 @@ TEST(ThreadPool, NestedParallelForFallsBackToSerial)
     EXPECT_GT(total.load(), 0);
 }
 
+TEST(ThreadPool, CrossPoolNestingStillPartitions)
+{
+    // The nested-call guard is per-pool: work dispatched on pool A
+    // may fan out on pool B (StreamPipeline stages do exactly this
+    // with the global pool). Every index must still be visited
+    // exactly once.
+    ThreadPool outer(3), inner(3);
+    std::vector<std::atomic<int>> seen(16);
+    std::atomic<int> outer_chunks{0};
+    outer.parallelFor(0, 4, [&](int64_t, int64_t) {
+        outer_chunks.fetch_add(1);
+        inner.parallelFor(0, 16, [&](int64_t f, int64_t l) {
+            for (int64_t i = f; i < l; ++i)
+                seen[size_t(i)].fetch_add(1);
+        });
+    });
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(seen[size_t(i)].load(), outer_chunks.load())
+            << "index " << i;
+}
+
 TEST(ThreadPool, DefaultThreadsHonoursEnv)
 {
     ASSERT_EQ(setenv("ASV_THREADS", "3", 1), 0);
