@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Engine-API overhead microbenchmark: what does going through the
+ * Matcher seam cost relative to calling the kernel directly?
+ *
+ * Three layers are measured on the same full-search BM workload:
+ *
+ *  - direct:   the free function (the pre-redesign call shape)
+ *  - virtual:  a pre-constructed Matcher behind compute() (one
+ *              virtual dispatch per frame)
+ *  - registry: makeMatcher(name, options) per frame — registry
+ *              lookup + option-string parsing + construction, the
+ *              worst-case "configure every request" serving pattern
+ *
+ * plus the factory alone (no compute), isolating construction cost.
+ * The frame is kept small so the per-call overhead is visible
+ * against the kernel time; on any realistic frame the seam is free.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/exec_context.hh"
+#include "data/scene.hh"
+#include "stereo/block_matching.hh"
+#include "stereo/matcher.hh"
+
+namespace
+{
+
+using namespace asv;
+
+data::StereoFrame
+benchFrame()
+{
+    data::SceneConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.maxDisparity = 14.f;
+    return data::generateSequence(cfg, 1, 77).frames.front();
+}
+
+constexpr const char *kOptions =
+    "blockRadius=2,maxDisparity=16,subpixel=0";
+
+stereo::BlockMatchingParams
+benchParams()
+{
+    stereo::BlockMatchingParams p;
+    p.blockRadius = 2;
+    p.maxDisparity = 16;
+    p.subpixel = false;
+    return p;
+}
+
+void
+BM_MatcherDirectCall(benchmark::State &state)
+{
+    const data::StereoFrame f = benchFrame();
+    const stereo::BlockMatchingParams p = benchParams();
+    const ExecContext ctx = ExecContext::global();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stereo::blockMatching(f.left, f.right, p, ctx));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatcherDirectCall);
+
+void
+BM_MatcherVirtualCall(benchmark::State &state)
+{
+    const data::StereoFrame f = benchFrame();
+    const auto m = stereo::makeMatcher("bm", kOptions);
+    const ExecContext ctx = ExecContext::global();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m->compute(f.left, f.right, ctx));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatcherVirtualCall);
+
+void
+BM_MatcherRegistryPerCall(benchmark::State &state)
+{
+    const data::StereoFrame f = benchFrame();
+    const ExecContext ctx = ExecContext::global();
+    for (auto _ : state) {
+        const auto m = stereo::makeMatcher("bm", kOptions);
+        benchmark::DoNotOptimize(m->compute(f.left, f.right, ctx));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatcherRegistryPerCall);
+
+void
+BM_MatcherFactoryOnly(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stereo::makeMatcher("bm", kOptions));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatcherFactoryOnly);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Run the kernel microbenchmarks plus the frames-in-flight streaming
-# benchmark and record the combined results as JSON, seeding the perf
-# trajectory tracked across PRs.
+# Run the kernel microbenchmarks, the frames-in-flight streaming
+# benchmark, and the engine-API dispatch-overhead benchmark, and
+# record the combined results as JSON, seeding the perf trajectory
+# tracked across PRs.
 #
 # Usage: bench/run_benchmarks.sh [output.json]
 #   BUILD_DIR   build tree to use (default: build)
@@ -14,11 +15,13 @@ BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_kernels.json}"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j --target bench_kernels bench_stream
+cmake --build "$BUILD_DIR" -j --target bench_kernels bench_stream \
+    bench_matcher_dispatch
 
 KERNELS_JSON="$(mktemp)"
 STREAM_JSON="$(mktemp)"
-trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON"' EXIT
+DISPATCH_JSON="$(mktemp)"
+trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON"' EXIT
 
 "$BUILD_DIR/bench_kernels" \
     --benchmark_format=json \
@@ -30,23 +33,29 @@ trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON"' EXIT
     --benchmark_out="$STREAM_JSON" \
     --benchmark_out_format=json
 
-# Append the streaming datapoints to the kernel results so one file
-# carries the whole trajectory.
+"$BUILD_DIR/bench_matcher_dispatch" \
+    --benchmark_format=json \
+    --benchmark_out="$DISPATCH_JSON" \
+    --benchmark_out_format=json
+
+# Append the streaming and dispatch datapoints to the kernel
+# results so one file carries the whole trajectory.
 if command -v python3 >/dev/null 2>&1; then
-    python3 - "$KERNELS_JSON" "$STREAM_JSON" "$OUT" <<'PY'
+    python3 - "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" "$OUT" <<'PY'
 import json, sys
-kernels, stream, out = sys.argv[1], sys.argv[2], sys.argv[3]
+kernels, extras, out = sys.argv[1], sys.argv[2:-1], sys.argv[-1]
 with open(kernels) as f:
     merged = json.load(f)
-with open(stream) as f:
-    merged["benchmarks"] += json.load(f)["benchmarks"]
+for path in extras:
+    with open(path) as f:
+        merged["benchmarks"] += json.load(f)["benchmarks"]
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 PY
 elif command -v jq >/dev/null 2>&1; then
-    jq -s '.[0].benchmarks += .[1].benchmarks | .[0]' \
-        "$KERNELS_JSON" "$STREAM_JSON" > "$OUT"
+    jq -s '.[0].benchmarks += (.[1].benchmarks + .[2].benchmarks) | .[0]' \
+        "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" > "$OUT"
 else
     echo "neither python3 nor jq available; writing kernels only" >&2
     cp "$KERNELS_JSON" "$OUT"

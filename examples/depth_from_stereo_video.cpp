@@ -5,16 +5,21 @@
  * headsets).
  *
  * Generates a KITTI-like stereo sequence, runs the ISM pipeline
- * (oracle key frames + Farnebäck propagation + guided refinement),
- * triangulates disparity to metric depth with the Bumblebee2 rig
- * (Eq. 1), and writes PGM visualizations plus PFM float maps of the
- * final frame to /tmp/asv_depth_*.
+ * (registry-selected key-frame engine + Farnebäck propagation +
+ * guided refinement), triangulates disparity to metric depth with
+ * the Bumblebee2 rig (Eq. 1), and writes PGM visualizations plus
+ * PFM float maps of the final frame to /tmp/asv_depth_*.
  *
- * Usage: depth_from_stereo_video [frames] [pw]
+ * Usage: depth_from_stereo_video [frames] [pw] [engine] [engine-options]
+ *   engine          oracle (default) | sgm | bm | guided | ...
+ *   engine-options  "key=value,..." for the engine's factory
+ *   e.g.: depth_from_stereo_video 8 4 sgm maxDisparity=64,p2=60
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <memory>
 #include <string>
 
 #include "common/rng.hh"
@@ -23,6 +28,7 @@
 #include "data/scene.hh"
 #include "image/io.hh"
 #include "stereo/disparity.hh"
+#include "stereo/matcher.hh"
 
 int
 main(int argc, char **argv)
@@ -31,6 +37,8 @@ main(int argc, char **argv)
 
     const int frames = argc > 1 ? std::atoi(argv[1]) : 8;
     const int pw = argc > 2 ? std::atoi(argv[2]) : 4;
+    const std::string engine = argc > 3 ? argv[3] : "oracle";
+    const std::string engine_opts = argc > 4 ? argv[4] : "";
 
     // A street-style scene: striped ground plane, moving objects.
     data::SceneConfig cfg;
@@ -42,17 +50,31 @@ main(int argc, char **argv)
     data::StereoSequence seq =
         data::generateSequence(cfg, frames, /*seed=*/2024);
 
-    Rng rng(11);
-    const auto oracle = data::OracleModel::forNetwork("PSMNet");
+    // Key-frame engine from the registry; the oracle (the PSMNet
+    // stand-in) needs the sequence's ground truth bound to it.
+    std::shared_ptr<stereo::Matcher> key_engine;
+    try {
+        key_engine = stereo::makeMatcher(
+            engine, engine == "oracle" && engine_opts.empty()
+                        ? "network=PSMNet,seed=11"
+                        : engine_opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
     size_t idx = 0;
+    if (auto *oracle_engine =
+            dynamic_cast<data::OracleMatcher *>(key_engine.get())) {
+        oracle_engine->bindGroundTruth(
+            [&](const image::Image &, const image::Image &) {
+                return seq.frames[idx].gtDisparity;
+            });
+    }
+
     core::IsmParams params;
     params.propagationWindow = pw;
     params.maxDisparity = 64;
-    core::IsmPipeline ism(
-        params, [&](const image::Image &, const image::Image &) {
-            return data::oracleInference(
-                seq.frames[idx].gtDisparity, oracle, rng);
-        });
+    core::IsmPipeline ism(params, key_engine);
 
     stereo::StereoRig rig; // Bumblebee2 intrinsics
     stereo::DisparityMap last;

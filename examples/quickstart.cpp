@@ -9,9 +9,19 @@
  * 3. Run the system-level simulation (ISM + DCO, Fig. 10).
  * 4. Run the functional ISM pipeline on a tiny generated stereo
  *    video and report its three-pixel error against ground truth.
+ *    The key-frame engine comes from the Matcher registry and is
+ *    selected on the command line.
+ *
+ * Usage: quickstart [engine] [engine-options]
+ *   engine          oracle (default) | sgm | bm | guided | ...
+ *   engine-options  "key=value,..." for the engine's factory
+ *   e.g.: quickstart sgm maxDisparity=48,p2=60
  */
 
 #include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
 
 #include "core/asv_system.hh"
 #include "core/ism.hh"
@@ -19,11 +29,15 @@
 #include "data/scene.hh"
 #include "dnn/zoo.hh"
 #include "sim/accelerator.hh"
+#include "stereo/matcher.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace asv;
+
+    const std::string engine = argc > 1 ? argv[1] : "oracle";
+    const std::string engine_opts = argc > 2 ? argv[2] : "";
 
     // ---- 1. Workload inspection -------------------------------
     dnn::Network net = dnn::zoo::buildFlowNetC();
@@ -78,23 +92,37 @@ main()
     }
 
     // ---- 4. Functional ISM on generated stereo video ----------
-    std::printf("\nfunctional ISM (PW-4) on a generated sequence:\n");
+    std::printf("\nfunctional ISM (PW-4, key-frame engine '%s') on a "
+                "generated sequence:\n",
+                engine.c_str());
     data::StereoSequence seq = data::generateSequence(
         data::SceneConfig{}, 8, /*seed=*/42);
 
-    Rng rng(7);
-    const data::OracleModel oracle =
-        data::OracleModel::forNetwork("FlowNetC");
+    // The key-frame engine comes from the registry: the calibrated
+    // oracle standing in for a trained network by default (DESIGN.md
+    // substitution #1), or any classical engine by name.
+    std::shared_ptr<stereo::Matcher> key_engine;
+    try {
+        key_engine = stereo::makeMatcher(
+            engine, engine == "oracle" && engine_opts.empty()
+                        ? "network=FlowNetC,seed=7"
+                        : engine_opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    int frame_idx = 0;
+    if (auto *oracle_engine =
+            dynamic_cast<data::OracleMatcher *>(key_engine.get())) {
+        oracle_engine->bindGroundTruth(
+            [&](const image::Image &, const image::Image &) {
+                return seq.frames[frame_idx].gtDisparity;
+            });
+    }
+
     core::IsmParams params;
     params.propagationWindow = 4;
-    // Key frames run "DNN inference": the calibrated oracle standing
-    // in for a trained network (see DESIGN.md substitution #1).
-    int frame_idx = 0;
-    core::IsmPipeline ism(
-        params, [&](const image::Image &, const image::Image &) {
-            return data::oracleInference(
-                seq.frames[frame_idx].gtDisparity, oracle, rng);
-        });
+    core::IsmPipeline ism(params, key_engine);
 
     double worst = 0.0;
     for (size_t t = 0; t < seq.frames.size(); ++t) {

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Explicit execution context for the compute kernels.
+ *
+ * Every hot kernel (SAD block matching, census/SGM, the reference
+ * convolution, the image-ops pre-stages of ISM flow) takes a
+ * `const ExecContext &` naming the thread pool it may fan work out
+ * on. This replaces the implicit `ThreadPool::global()` reach-ins the
+ * kernels used to perform: a pipeline's pool is an owned,
+ * per-instance resource, which is what multi-tenant deployments need
+ * — two pipelines sharing a process must be able to run on disjoint
+ * pools with independent sizing, and a per-request pool must be
+ * expressible without touching process-global state.
+ *
+ * The context does not own the pool; the creator guarantees the pool
+ * outlives every kernel call made with the context. Copying a
+ * context is copying a pool reference.
+ *
+ * Determinism is unchanged: the pool's static partitioning makes all
+ * kernel results bit-identical for any worker count, so switching a
+ * call site between pools (or to `ExecContext::global()`) never
+ * changes output.
+ */
+
+#ifndef ASV_COMMON_EXEC_CONTEXT_HH
+#define ASV_COMMON_EXEC_CONTEXT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/thread_pool.hh"
+
+namespace asv
+{
+
+/** A borrowed thread pool handed explicitly through kernel APIs. */
+class ExecContext
+{
+  public:
+    /** Run on @p pool (not owned; must outlive the context's use). */
+    explicit ExecContext(ThreadPool &pool) : pool_(&pool) {}
+
+    /**
+     * Context over the process-wide shared pool. This is the one
+     * sanctioned way to keep legacy free-function signatures working;
+     * new code should pass an instance-owned pool instead.
+     */
+    static ExecContext
+    global()
+    {
+        return ExecContext(ThreadPool::global());
+    }
+
+    ThreadPool &pool() const { return *pool_; }
+
+    int numThreads() const { return pool_->numThreads(); }
+
+    /** parallelFor() on this context's pool. */
+    void
+    parallelFor(int64_t begin, int64_t end,
+                const std::function<void(int64_t, int64_t)> &body) const
+    {
+        pool_->parallelFor(begin, end, body);
+    }
+
+    /** parallelForChunks() on this context's pool. */
+    void
+    parallelForChunks(
+        int64_t begin, int64_t end,
+        const std::function<void(int64_t, int64_t, int)> &body) const
+    {
+        pool_->parallelForChunks(begin, end, body);
+    }
+
+  private:
+    ThreadPool *pool_;
+};
+
+} // namespace asv
+
+#endif // ASV_COMMON_EXEC_CONTEXT_HH

@@ -82,11 +82,51 @@ nonKeyFrameCost(const sched::HardwareConfig &hw,
     return fc_out;
 }
 
+namespace
+{
+
+/**
+ * Cost of running a classical key-frame engine (SGM/BM) on the
+ * SAD-extended PE array: the engine's op count charged the way
+ * nonKeyFrameCost charges the OF/BM stages, plus the pair's frame
+ * traffic.
+ */
+FrameCost
+classicalKeyFrameCost(const sched::HardwareConfig &hw,
+                      const SystemConfig &cfg,
+                      const sim::EnergyModel &em, int64_t pe_ops)
+{
+    const int w = cfg.frameWidth, h = cfg.frameHeight;
+    const int64_t fill_drain = (hw.peRows + hw.peCols) * 64;
+    const int64_t pe_cycles =
+        ceilDiv(pe_ops, hw.peCount()) + fill_drain;
+
+    // Two input frames in, one disparity map out; the cost volume
+    // stays resident in the global buffer.
+    const int64_t frame_bytes = int64_t(w) * h * hw.bytesPerElem;
+    const int64_t traffic = 3 * frame_bytes;
+    const int64_t mem_cycles = int64_t(
+        std::ceil(double(traffic) / hw.dramBytesPerCycle()));
+
+    const int64_t cycles = std::max(pe_cycles, mem_cycles);
+    FrameCost fc;
+    fc.seconds = double(cycles) / (hw.clockGhz * 1e9);
+    fc.energyJ =
+        double(pe_ops) * (em.macPj + em.rfPjPerMac) * 1e-12 +
+        double(traffic) * em.dramPjPerByte * 1e-12 +
+        double(traffic + 2 * frame_bytes) * em.sramPjPerByte * 1e-12 +
+        em.leakageWatts * fc.seconds;
+    return fc;
+}
+
+} // namespace
+
 SystemResult
 simulateSystem(const dnn::Network &net,
                const sched::HardwareConfig &hw,
-               SystemVariant variant, const SystemConfig &cfg,
-               const sim::EnergyModel &em)
+               SystemVariant variant,
+               const std::shared_ptr<const stereo::Matcher> &key_matcher,
+               const SystemConfig &cfg, const sim::EnergyModel &em)
 {
     SystemResult r;
     r.variant = variant;
@@ -96,11 +136,21 @@ simulateSystem(const dnn::Network &net,
     const bool use_ism = variant == SystemVariant::IsmOnly ||
                          variant == SystemVariant::IsmDco;
 
-    r.dnnCost = sim::simulateNetwork(
-        net, hw, use_dco ? sim::Variant::Ilar : sim::Variant::Baseline,
-        em);
-    r.keyFrame.seconds = r.dnnCost.seconds(hw);
-    r.keyFrame.energyJ = r.dnnCost.energy.total();
+    const int64_t key_ops =
+        key_matcher
+            ? key_matcher->ops(cfg.frameWidth, cfg.frameHeight)
+            : 0;
+    if (key_ops > 0) {
+        // Classical key-frame engine on the PE array.
+        r.keyFrame = classicalKeyFrameCost(hw, cfg, em, key_ops);
+    } else {
+        r.dnnCost = sim::simulateNetwork(
+            net, hw,
+            use_dco ? sim::Variant::Ilar : sim::Variant::Baseline,
+            em);
+        r.keyFrame.seconds = r.dnnCost.seconds(hw);
+        r.keyFrame.energyJ = r.dnnCost.energy.total();
+    }
 
     if (use_ism) {
         r.nonKeyFrame = nonKeyFrameCost(hw, cfg, em);
@@ -117,6 +167,15 @@ simulateSystem(const dnn::Network &net,
         r.average = r.keyFrame;
     }
     return r;
+}
+
+SystemResult
+simulateSystem(const dnn::Network &net,
+               const sched::HardwareConfig &hw,
+               SystemVariant variant, const SystemConfig &cfg,
+               const sim::EnergyModel &em)
+{
+    return simulateSystem(net, hw, variant, nullptr, cfg, em);
 }
 
 } // namespace asv::core

@@ -16,11 +16,14 @@
 #ifndef ASV_CORE_ASV_SYSTEM_HH
 #define ASV_CORE_ASV_SYSTEM_HH
 
+#include <memory>
+
 #include "core/ism.hh"
 #include "dnn/network.hh"
 #include "sched/schedule.hh"
 #include "sim/accelerator.hh"
 #include "sim/energy.hh"
+#include "stereo/matcher.hh"
 
 namespace asv::core
 {
@@ -87,6 +90,23 @@ struct SystemResult
 SystemResult simulateSystem(const dnn::Network &net,
                             const sched::HardwareConfig &hw,
                             SystemVariant variant,
+                            const SystemConfig &cfg = {},
+                            const sim::EnergyModel &em = {});
+
+/**
+ * As above, but with an explicit key-frame engine. A matcher whose
+ * ops() is positive (a classical engine: SGM, full-search BM — the
+ * Fig. 1 baselines) replaces DNN inference on key frames: its op
+ * count is charged to the SAD-extended PE array the way non-key
+ * frames are, giving the classical end of the Fig. 1
+ * accuracy/performance frontier at system level. A null matcher or
+ * one reporting 0 ops (oracle, callback) falls back to the DNN cost
+ * model — identical to the overload above.
+ */
+SystemResult simulateSystem(const dnn::Network &net,
+                            const sched::HardwareConfig &hw,
+                            SystemVariant variant,
+                            const std::shared_ptr<const stereo::Matcher> &key_matcher,
                             const SystemConfig &cfg = {},
                             const sim::EnergyModel &em = {});
 

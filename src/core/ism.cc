@@ -1,6 +1,9 @@
 #include "core/ism.hh"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
@@ -10,25 +13,86 @@
 namespace asv::core
 {
 
+namespace
+{
+
+/** KeyFrameFn behind the Matcher engine API (compat shim). */
+class CallbackMatcher final : public stereo::Matcher
+{
+  public:
+    explicit CallbackMatcher(KeyFrameFn fn) : fn_(std::move(fn)) {}
+
+    std::string name() const override { return "callback"; }
+
+    stereo::DisparityMap
+    compute(const image::Image &left, const image::Image &right,
+            const ExecContext &ctx) const override
+    {
+        (void)ctx; // the callback signature predates ExecContext
+        return fn_(left, right);
+    }
+
+    /** Unknown cost; charged the pre-Matcher way (to the DNN). */
+    int64_t
+    ops(int width, int height) const override
+    {
+        (void)width;
+        (void)height;
+        return 0;
+    }
+
+  private:
+    KeyFrameFn fn_;
+};
+
+} // namespace
+
+std::shared_ptr<const stereo::Matcher>
+makeCallbackMatcher(KeyFrameFn fn)
+{
+    fatal_if(!fn, "key-frame source is required");
+    return std::make_shared<const CallbackMatcher>(std::move(fn));
+}
+
 // params is passed by copy, not moved: arguments are indeterminately
 // sequenced, so reading propagationWindow here must not race a move
 // of the same object.
+IsmPipeline::IsmPipeline(
+    IsmParams params,
+    std::shared_ptr<const stereo::Matcher> key_frame_matcher)
+    : IsmPipeline(params, std::move(key_frame_matcher),
+                  makeStaticSequencer(params.propagationWindow))
+{
+}
+
+IsmPipeline::IsmPipeline(
+    IsmParams params,
+    std::shared_ptr<const stereo::Matcher> key_frame_matcher,
+    std::unique_ptr<KeyFrameSequencer> sequencer,
+    std::shared_ptr<ThreadPool> pool)
+    : params_(std::move(params)),
+      keyFrameSource_(std::move(key_frame_matcher)),
+      sequencer_(std::move(sequencer)),
+      pool_(pool ? std::move(pool)
+                 : std::make_shared<ThreadPool>(0))
+{
+    fatal_if(params_.propagationWindow < 1,
+             "propagation window must be >= 1");
+    fatal_if(!keyFrameSource_, "key-frame matcher is required");
+    fatal_if(!sequencer_, "key-frame sequencer is required");
+}
+
 IsmPipeline::IsmPipeline(IsmParams params, KeyFrameFn key_frame_source)
-    : IsmPipeline(params, std::move(key_frame_source),
+    : IsmPipeline(params, makeCallbackMatcher(std::move(key_frame_source)),
                   makeStaticSequencer(params.propagationWindow))
 {
 }
 
 IsmPipeline::IsmPipeline(IsmParams params, KeyFrameFn key_frame_source,
                          std::unique_ptr<KeyFrameSequencer> sequencer)
-    : params_(std::move(params)),
-      keyFrameSource_(std::move(key_frame_source)),
-      sequencer_(std::move(sequencer))
+    : IsmPipeline(params, makeCallbackMatcher(std::move(key_frame_source)),
+                  std::move(sequencer))
 {
-    fatal_if(params_.propagationWindow < 1,
-             "propagation window must be >= 1");
-    fatal_if(!keyFrameSource_, "key-frame source is required");
-    fatal_if(!sequencer_, "key-frame sequencer is required");
 }
 
 void
@@ -59,26 +123,28 @@ ismDecideKeyFrame(KeyFrameSequencer &sequencer,
 
 flow::FlowField
 ismFlow(const image::Image &from, const image::Image &to,
-        const IsmParams &p)
+        const IsmParams &p, const ExecContext &ctx)
 {
     const int s = std::max(1, p.flowScale);
     if (p.motion == MotionEstimator::BlockMatching)
         return flow::blockMotion(from, to);
     if (s == 1)
-        return flow::farnebackFlow(from, to, p.flowParams);
+        return flow::farnebackFlow(from, to, p.flowParams, nullptr,
+                                   ctx);
 
     // Motion at reduced resolution, upsampled and rescaled.
     const int sw = std::max(16, from.width() / s);
     const int sh = std::max(16, from.height() / s);
-    const image::Image f0 = image::resizeBilinear(from, sw, sh);
-    const image::Image f1 = image::resizeBilinear(to, sw, sh);
-    flow::FlowField small = flow::farnebackFlow(f0, f1, p.flowParams);
+    const image::Image f0 = image::resizeBilinear(from, sw, sh, ctx);
+    const image::Image f1 = image::resizeBilinear(to, sw, sh, ctx);
+    flow::FlowField small =
+        flow::farnebackFlow(f0, f1, p.flowParams, nullptr, ctx);
 
     flow::FlowField full(from.width(), from.height());
     full.u = image::resizeBilinear(small.u, from.width(),
-                                   from.height());
+                                   from.height(), ctx);
     full.v = image::resizeBilinear(small.v, from.width(),
-                                   from.height());
+                                   from.height(), ctx);
     const float kx = float(from.width()) / sw;
     const float ky = float(from.height()) / sh;
     for (int64_t i = 0; i < full.u.size(); ++i) {
@@ -88,11 +154,19 @@ ismFlow(const image::Image &from, const image::Image &to,
     return full;
 }
 
+flow::FlowField
+ismFlow(const image::Image &from, const image::Image &to,
+        const IsmParams &p)
+{
+    return ismFlow(from, to, p, ExecContext::global());
+}
+
 stereo::DisparityMap
 ismPropagate(const image::Image &left, const image::Image &right,
              const stereo::DisparityMap &prev_disparity,
              const flow::FlowField &flow_l,
-             const flow::FlowField &flow_r, const IsmParams &p)
+             const flow::FlowField &flow_r, const IsmParams &p,
+             const ExecContext &ctx)
 {
     const int w = left.width(), h = left.height();
     panic_if(prev_disparity.width() != w ||
@@ -158,10 +232,20 @@ ismPropagate(const image::Image &left, const image::Image &right,
     bm.blockRadius = p.blockRadius;
     bm.maxDisparity = p.maxDisparity;
     stereo::DisparityMap disparity = stereo::refineDisparity(
-        left, right, init, p.refineRadius, bm);
+        left, right, init, p.refineRadius, bm, ctx);
     if (p.medianPostprocess)
         disparity = stereo::medianFilter3x3(disparity);
     return disparity;
+}
+
+stereo::DisparityMap
+ismPropagate(const image::Image &left, const image::Image &right,
+             const stereo::DisparityMap &prev_disparity,
+             const flow::FlowField &flow_l,
+             const flow::FlowField &flow_r, const IsmParams &p)
+{
+    return ismPropagate(left, right, prev_disparity, flow_l, flow_r,
+                        p, ExecContext::global());
 }
 
 IsmFrameResult
@@ -188,20 +272,40 @@ IsmPipeline::processFrame(const image::Image &left,
         *sequencer_, left, frameIndex_, !prevDisparity_.empty());
     ++frameIndex_;
 
+    const ExecContext ctx(*pool_);
     if (is_key) {
-        // Step 1: DNN inference on the key frame.
-        result.disparity = keyFrameSource_(left, right);
+        // Step 1: "DNN inference" — the key-frame engine. Classical
+        // engines report their real op count; oracle/callback
+        // sources report 0 (charged to the DNN accelerator models).
+        result.disparity = keyFrameSource_->compute(left, right, ctx);
+        // Enforce the matcher output contract here (mirroring
+        // StreamPipeline) so a misbehaving engine fails loudly at
+        // the key frame instead of corrupting the propagation chain.
+        // An *empty* map stays tolerated: the next frame is forced
+        // to be a key frame (see ismDecideKeyFrame).
+        if (!result.disparity.empty() &&
+            (result.disparity.width() != left.width() ||
+             result.disparity.height() != left.height()))
+            throw std::runtime_error(
+                "key-frame matcher '" + keyFrameSource_->name() +
+                "' returned a " +
+                std::to_string(result.disparity.width()) + "x" +
+                std::to_string(result.disparity.height()) +
+                " disparity map for a " +
+                std::to_string(left.width()) + "x" +
+                std::to_string(left.height()) + " pair");
         result.keyFrame = true;
-        result.arithmeticOps = 0; // charged to the DNN accelerator
+        result.arithmeticOps =
+            keyFrameSource_->ops(left.width(), left.height());
     } else {
         // Step 3: propagate both sides by dense optical flow, then
         // steps 2-4: move the correspondences and refine.
         const flow::FlowField flow_l =
-            ismFlow(prevLeft_, left, params_);
+            ismFlow(prevLeft_, left, params_, ctx);
         const flow::FlowField flow_r =
-            ismFlow(prevRight_, right, params_);
+            ismFlow(prevRight_, right, params_, ctx);
         result.disparity = ismPropagate(left, right, prevDisparity_,
-                                        flow_l, flow_r, params_);
+                                        flow_l, flow_r, params_, ctx);
         result.keyFrame = false;
         result.arithmeticOps =
             nonKeyFrameOps(left.width(), left.height(), params_);

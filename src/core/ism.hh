@@ -30,12 +30,15 @@
 #include <functional>
 #include <memory>
 
+#include "common/exec_context.hh"
+#include "common/thread_pool.hh"
 #include "core/sequencer.hh"
 #include "flow/block_motion.hh"
 #include "flow/farneback.hh"
 #include "image/image.hh"
 #include "stereo/block_matching.hh"
 #include "stereo/disparity.hh"
+#include "stereo/matcher.hh"
 
 namespace asv::core
 {
@@ -74,11 +77,22 @@ struct IsmFrameResult
 };
 
 /**
- * Key-frame disparity source: the "DNN inference" step. Receives the
- * left/right images and returns a dense disparity map.
+ * Key-frame disparity source as a plain callback — the pre-Matcher
+ * shape of the "DNN inference" hook, kept for compatibility. New
+ * code should pass a stereo::Matcher (makeMatcher()) instead.
  */
 using KeyFrameFn = std::function<stereo::DisparityMap(
     const image::Image &left, const image::Image &right)>;
+
+/**
+ * Adapt a KeyFrameFn into the Matcher engine API (name "callback",
+ * ops() = 0). The callback must satisfy the Matcher thread-safety
+ * contract wherever the matcher is used concurrently
+ * (StreamPipeline); it receives no ExecContext, so any parallelism
+ * it uses is its own affair.
+ */
+std::shared_ptr<const stereo::Matcher>
+makeCallbackMatcher(KeyFrameFn fn);
 
 /**
  * The key/non-key decision, shared by IsmPipeline and StreamPipeline
@@ -98,8 +112,14 @@ bool ismDecideKeyFrame(KeyFrameSequencer &sequencer,
  * upsampled and rescaled back (Sec. 3.3). Depends only on the two
  * input frames — never on a previous frame's *result* — which is
  * what lets StreamPipeline run it eagerly while the predecessor
- * frame is still in flight.
+ * frame is still in flight. The resize pre-stages fan out on
+ * @p ctx's pool.
  */
+flow::FlowField ismFlow(const image::Image &from,
+                        const image::Image &to, const IsmParams &p,
+                        const ExecContext &ctx);
+
+/** ismFlow() on the process-global pool (legacy signature). */
 flow::FlowField ismFlow(const image::Image &from,
                         const image::Image &to, const IsmParams &p);
 
@@ -114,6 +134,15 @@ flow::FlowField ismFlow(const image::Image &from,
  * @param prev_disparity disparity of the previous frame; must be
  *                       non-empty and match the pair's dimensions
  */
+stereo::DisparityMap ismPropagate(const image::Image &left,
+                                  const image::Image &right,
+                                  const stereo::DisparityMap &prev_disparity,
+                                  const flow::FlowField &flow_l,
+                                  const flow::FlowField &flow_r,
+                                  const IsmParams &p,
+                                  const ExecContext &ctx);
+
+/** ismPropagate() on the process-global pool (legacy signature). */
 stereo::DisparityMap ismPropagate(const image::Image &left,
                                   const image::Image &right,
                                   const stereo::DisparityMap &prev_disparity,
@@ -135,10 +164,30 @@ stereo::DisparityMap ismPropagate(const image::Image &left,
 class IsmPipeline
 {
   public:
-    /** Static key-frame cadence from params.propagationWindow. */
+    /**
+     * Key frames run @p key_frame_matcher (any registered engine —
+     * see stereo::makeMatcher). Static cadence from
+     * params.propagationWindow.
+     */
+    IsmPipeline(IsmParams params,
+                std::shared_ptr<const stereo::Matcher> key_frame_matcher);
+
+    /**
+     * Matcher key-frame source with a custom sequencing policy and
+     * optionally an injected pool. A null @p pool creates a private
+     * one sized by ASV_THREADS/hardware_concurrency; pass a shared
+     * pool to cap total thread count across many pipelines (the
+     * per-request serving pattern) or to control sizing explicitly.
+     */
+    IsmPipeline(IsmParams params,
+                std::shared_ptr<const stereo::Matcher> key_frame_matcher,
+                std::unique_ptr<KeyFrameSequencer> sequencer,
+                std::shared_ptr<ThreadPool> pool = nullptr);
+
+    /** Compatibility: raw-callback key-frame source. */
     IsmPipeline(IsmParams params, KeyFrameFn key_frame_source);
 
-    /** Custom key-frame policy (e.g. AdaptiveSequencer). */
+    /** Compatibility: raw callback + custom key-frame policy. */
     IsmPipeline(IsmParams params, KeyFrameFn key_frame_source,
                 std::unique_ptr<KeyFrameSequencer> sequencer);
 
@@ -151,10 +200,22 @@ class IsmPipeline
 
     const IsmParams &params() const { return params_; }
 
+    /** The key-frame engine. */
+    const stereo::Matcher &matcher() const { return *keyFrameSource_; }
+
+    /**
+     * The pool this instance's kernels fan out on, and nowhere else
+     * — private by default (sized by ASV_THREADS at construction),
+     * or the one injected at construction. Never
+     * ThreadPool::global().
+     */
+    ThreadPool &pool() const { return *pool_; }
+
   private:
     IsmParams params_;
-    KeyFrameFn keyFrameSource_;
+    std::shared_ptr<const stereo::Matcher> keyFrameSource_;
     std::unique_ptr<KeyFrameSequencer> sequencer_;
+    std::shared_ptr<ThreadPool> pool_;
     int64_t frameIndex_ = 0;
     image::Image prevLeft_;
     image::Image prevRight_;

@@ -1,6 +1,7 @@
 #include "core/stream_pipeline.hh"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/logging.hh"
@@ -18,13 +19,24 @@ struct StreamPipeline::FrameCompletion
     StreamPipeline *pipeline;
 };
 
-StreamPipeline::StreamPipeline(IsmParams params,
-                               KeyFrameFn key_frame_source,
-                               StreamParams stream)
+StreamPipeline::StreamPipeline(
+    IsmParams params,
+    std::shared_ptr<const stereo::Matcher> key_frame_matcher,
+    StreamParams stream)
     // params is passed by copy, not moved: arguments are
     // indeterminately sequenced, so reading propagationWindow here
     // must not race a move of the same object.
-    : StreamPipeline(params, std::move(key_frame_source),
+    : StreamPipeline(params, std::move(key_frame_matcher),
+                     makeStaticSequencer(params.propagationWindow),
+                     stream)
+{
+}
+
+StreamPipeline::StreamPipeline(IsmParams params,
+                               KeyFrameFn key_frame_source,
+                               StreamParams stream)
+    : StreamPipeline(params,
+                     makeCallbackMatcher(std::move(key_frame_source)),
                      makeStaticSequencer(params.propagationWindow),
                      stream)
 {
@@ -34,13 +46,24 @@ StreamPipeline::StreamPipeline(IsmParams params,
                                KeyFrameFn key_frame_source,
                                std::unique_ptr<KeyFrameSequencer> sequencer,
                                StreamParams stream)
+    : StreamPipeline(params,
+                     makeCallbackMatcher(std::move(key_frame_source)),
+                     std::move(sequencer), stream)
+{
+}
+
+StreamPipeline::StreamPipeline(
+    IsmParams params,
+    std::shared_ptr<const stereo::Matcher> key_frame_matcher,
+    std::unique_ptr<KeyFrameSequencer> sequencer,
+    StreamParams stream)
     : params_(std::move(params)),
-      keyFrameSource_(std::move(key_frame_source)),
+      keyFrameSource_(std::move(key_frame_matcher)),
       sequencer_(std::move(sequencer))
 {
     fatal_if(params_.propagationWindow < 1,
              "propagation window must be >= 1");
-    fatal_if(!keyFrameSource_, "key-frame source is required");
+    fatal_if(!keyFrameSource_, "key-frame matcher is required");
     fatal_if(!sequencer_, "key-frame sequencer is required");
     fatal_if(stream.maxInFlight < 1, "maxInFlight must be >= 1");
     fatal_if(stream.workers < 0, "workers must be >= 0");
@@ -124,19 +147,35 @@ StreamPipeline::submit(const image::Image &left,
     Slot slot;
     slot.keyFrame = is_key;
     slot.arithmeticOps =
-        is_key ? 0
+        is_key ? keyFrameSource_->ops(left.width(), left.height())
                : nonKeyFrameOps(left.width(), left.height(), params_);
 
     if (is_key) {
         // Key-frame inference depends only on the submitted pair.
+        // The matcher contract (non-empty, pair-sized output) is
+        // enforced here, at stage completion, so a misbehaving
+        // engine fails this frame loudly instead of corrupting the
+        // frames propagating from it.
         slot.disparity =
             pool_->submit([this, l = left_ptr, r = right_ptr]() {
                      FrameCompletion done(this);
-                     stereo::DisparityMap d = keyFrameSource_(*l, *r);
+                     stereo::DisparityMap d = keyFrameSource_->compute(
+                         *l, *r, ExecContext(*pool_));
                      if (d.empty())
                          throw std::runtime_error(
-                             "streaming key-frame source returned "
-                             "an empty disparity map");
+                             "streaming key-frame matcher '" +
+                             keyFrameSource_->name() +
+                             "' returned an empty disparity map");
+                     if (d.width() != l->width() ||
+                         d.height() != l->height())
+                         throw std::runtime_error(
+                             "streaming key-frame matcher '" +
+                             keyFrameSource_->name() + "' returned a " +
+                             std::to_string(d.width()) + "x" +
+                             std::to_string(d.height()) +
+                             " disparity map for a " +
+                             std::to_string(l->width()) + "x" +
+                             std::to_string(l->height()) + " pair");
                      return d;
                  })
                 .share();
@@ -146,13 +185,15 @@ StreamPipeline::submit(const image::Image &left,
         // parallel with the predecessor still in flight.
         auto flow_l =
             pool_->submit([this, from = prevLeft_, to = left_ptr]() {
-                     return ismFlow(*from, *to, params_);
+                     return ismFlow(*from, *to, params_,
+                                    ExecContext(*pool_));
                  })
                 .share();
         auto flow_r =
             pool_->submit(
                      [this, from = prevRight_, to = right_ptr]() {
-                         return ismFlow(*from, *to, params_);
+                         return ismFlow(*from, *to, params_,
+                                        ExecContext(*pool_));
                      })
                 .share();
         // Propagation chains on the predecessor's disparity future.
@@ -167,7 +208,8 @@ StreamPipeline::submit(const image::Image &left,
                      FrameCompletion done(this);
                      return ismPropagate(*l, *r, prev.get(),
                                          flow_l.get(), flow_r.get(),
-                                         params_);
+                                         params_,
+                                         ExecContext(*pool_));
                  })
                 .share();
     }

@@ -35,17 +35,26 @@
  * serial processFrame() loop for any maxInFlight and worker count —
  * provided the key-frame source is a pure function of its inputs.
  *
- * Requirements on the key-frame source: it may be invoked
+ * Requirements on the key-frame matcher: it may be invoked
  * concurrently from worker threads (two key frames can be in flight
- * at once), and it must return a non-empty disparity map. (The
- * serial pipeline tolerates an empty key map by forcing the *next*
- * frame to be a key frame — a decision that cannot be made eagerly
- * at submission time.)
+ * at once — the Matcher thread-safety contract), and it must return
+ * a non-empty disparity map matching the submitted pair's
+ * dimensions; a violation is detected at stage completion and
+ * surfaces from next()/drain() as a std::runtime_error rather than
+ * corrupting downstream propagation. (The serial pipeline tolerates
+ * an empty key map by forcing the *next* frame to be a key frame —
+ * a decision that cannot be made eagerly at submission time.)
  *
  * Threading: submit()/next()/drain()/reset() must be called from a
  * single driver thread. The pipeline owns its executor threads and
  * never blocks a worker on a dependency that was not submitted
  * before it (FIFO execution order makes the chain deadlock-free).
+ * All stage kernels take their ExecContext from the pipeline's own
+ * pool — a StreamPipeline never touches ThreadPool::global(), so
+ * co-resident pipelines (multi-tenant serving) are fully isolated.
+ * Inside a worker a nested parallelFor on the same pool runs
+ * serially; with frames in flight the workers *are* the
+ * parallelism.
  */
 
 #ifndef ASV_CORE_STREAM_PIPELINE_HH
@@ -101,11 +110,26 @@ struct StreamParams
 class StreamPipeline
 {
   public:
-    /** Static key-frame cadence from params.propagationWindow. */
+    /**
+     * Key frames run @p key_frame_matcher (any registered engine —
+     * see stereo::makeMatcher); static cadence from
+     * params.propagationWindow.
+     */
+    StreamPipeline(IsmParams params,
+                   std::shared_ptr<const stereo::Matcher> key_frame_matcher,
+                   StreamParams stream = {});
+
+    /** Matcher key-frame source with a custom sequencing policy. */
+    StreamPipeline(IsmParams params,
+                   std::shared_ptr<const stereo::Matcher> key_frame_matcher,
+                   std::unique_ptr<KeyFrameSequencer> sequencer,
+                   StreamParams stream = {});
+
+    /** Compatibility: raw-callback key-frame source. */
     StreamPipeline(IsmParams params, KeyFrameFn key_frame_source,
                    StreamParams stream = {});
 
-    /** Custom key-frame policy (e.g. AdaptiveSequencer). */
+    /** Compatibility: raw callback + custom key-frame policy. */
     StreamPipeline(IsmParams params, KeyFrameFn key_frame_source,
                    std::unique_ptr<KeyFrameSequencer> sequencer,
                    StreamParams stream = {});
@@ -158,6 +182,9 @@ class StreamPipeline
     int workers() const { return workers_; }
     const IsmParams &params() const { return params_; }
 
+    /** The key-frame engine. */
+    const stereo::Matcher &matcher() const { return *keyFrameSource_; }
+
   private:
     /** Reorder-buffer entry for one submitted frame. */
     struct Slot
@@ -174,7 +201,7 @@ class StreamPipeline
     void markFrameComplete();
 
     IsmParams params_;
-    KeyFrameFn keyFrameSource_;
+    std::shared_ptr<const stereo::Matcher> keyFrameSource_;
     std::unique_ptr<KeyFrameSequencer> sequencer_;
     int maxInFlight_ = 1;
     int workers_ = 1;

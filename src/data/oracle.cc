@@ -1,6 +1,8 @@
 #include "data/oracle.hh"
 
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
@@ -97,6 +99,78 @@ oracleInference(const stereo::DisparityMap &gt,
         placed += int64_t(blob_area);
     }
     return pred;
+}
+
+OracleMatcher::OracleMatcher(OracleModel model, uint64_t seed)
+    : model_(std::move(model)), rng_(seed)
+{
+}
+
+void
+OracleMatcher::bindGroundTruth(GroundTruthFn ground_truth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    groundTruth_ = std::move(ground_truth);
+}
+
+void
+OracleMatcher::reseed(uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rng_ = Rng(seed);
+}
+
+stereo::DisparityMap
+OracleMatcher::compute(const image::Image &left,
+                       const image::Image &right,
+                       const ExecContext &ctx) const
+{
+    (void)ctx; // the error process is sequential by construction
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!groundTruth_)
+        throw std::runtime_error(
+            "OracleMatcher: no ground-truth provider bound "
+            "(call bindGroundTruth() before compute())");
+    const stereo::DisparityMap gt = groundTruth_(left, right);
+    if (gt.empty() || gt.width() != left.width() ||
+        gt.height() != left.height())
+        throw std::runtime_error(
+            "OracleMatcher: ground-truth provider returned a map "
+            "that does not match the submitted pair");
+    return oracleInference(gt, model_, rng_);
+}
+
+int64_t
+OracleMatcher::ops(int width, int height) const
+{
+    (void)width;
+    (void)height;
+    return 0;
+}
+
+std::shared_ptr<stereo::Matcher>
+makeOracleMatcher(const stereo::MatcherOptions &opts)
+{
+    const std::string network = opts.getString("network", "DispNet");
+    if (network != "DispNet" && network != "FlowNetC" &&
+        network != "GC-Net" && network != "PSMNet")
+        throw std::invalid_argument(
+            "oracle matcher: no calibration for network '" + network +
+            "' (known: DispNet, FlowNetC, GC-Net, PSMNet)");
+    OracleModel model = OracleModel::forNetwork(network);
+    model.subpixelSigma =
+        opts.getDouble("subpixelSigma", model.subpixelSigma);
+    model.outlierRate =
+        opts.getDouble("outlierRate", model.outlierRate);
+    model.outlierMinError =
+        opts.getDouble("outlierMinError", model.outlierMinError);
+    model.outlierMaxError =
+        opts.getDouble("outlierMaxError", model.outlierMaxError);
+    model.outlierBlobRadius =
+        opts.getInt("outlierBlobRadius", model.outlierBlobRadius);
+    const uint64_t seed = opts.getUInt64("seed", 0x5EED'A511u);
+    opts.finish("oracle");
+    return std::make_shared<OracleMatcher>(model, seed);
 }
 
 } // namespace asv::data

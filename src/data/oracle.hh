@@ -19,10 +19,14 @@
 #ifndef ASV_DATA_ORACLE_HH
 #define ASV_DATA_ORACLE_HH
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/rng.hh"
 #include "stereo/disparity.hh"
+#include "stereo/matcher.hh"
 
 namespace asv::data
 {
@@ -54,6 +58,70 @@ struct OracleModel
 stereo::DisparityMap oracleInference(const stereo::DisparityMap &gt,
                                      const OracleModel &model,
                                      Rng &rng);
+
+/**
+ * The oracle behind the stereo::Matcher engine API: stands in for
+ * DNN key-frame inference in pipelines that take a Matcher.
+ *
+ * The oracle needs the pair's ground-truth disparity, which the
+ * Matcher signature cannot carry — bind a provider that maps the
+ * submitted pair to its ground truth before the first compute():
+ *
+ *     auto m = std::dynamic_pointer_cast<data::OracleMatcher>(
+ *         stereo::makeMatcher("oracle", "network=PSMNet,seed=7"));
+ *     m->bindGroundTruth([&](const auto &l, const auto &r) {
+ *         return seq.frames[idx].gtDisparity;
+ *     });
+ *
+ * compute() throws std::runtime_error when unbound.
+ *
+ * Thread safety: the error process draws from one internal Rng, so
+ * concurrent calls are serialized by a mutex (memory-safe under
+ * StreamPipeline's concurrent key frames). The noise stream depends
+ * on call order; runs are reproducible whenever key-frame compute
+ * order is — which holds for any serial pipeline and for a stream
+ * whose key frames never overlap.
+ */
+class OracleMatcher final : public stereo::Matcher
+{
+  public:
+    using GroundTruthFn = std::function<stereo::DisparityMap(
+        const image::Image &left, const image::Image &right)>;
+
+    OracleMatcher(OracleModel model, uint64_t seed);
+
+    /** Set the pair -> ground-truth mapping (required). */
+    void bindGroundTruth(GroundTruthFn ground_truth);
+
+    std::string name() const override { return "oracle"; }
+
+    stereo::DisparityMap compute(const image::Image &left,
+                                 const image::Image &right,
+                                 const ExecContext &ctx) const override;
+
+    /** 0: key-frame cost is charged to the DNN models in dnn::zoo. */
+    int64_t ops(int width, int height) const override;
+
+    const OracleModel &model() const { return model_; }
+
+    /** Restore the noise stream to its post-construction state. */
+    void reseed(uint64_t seed);
+
+  private:
+    OracleModel model_;
+    GroundTruthFn groundTruth_;
+    mutable std::mutex mutex_;
+    mutable Rng rng_;
+};
+
+/**
+ * Registry factory for "oracle" (called by MatcherRegistry; options:
+ * network, seed, subpixelSigma, outlierRate, outlierMinError,
+ * outlierMaxError, outlierBlobRadius). Throws std::invalid_argument
+ * for an unknown network name.
+ */
+std::shared_ptr<stereo::Matcher>
+makeOracleMatcher(const stereo::MatcherOptions &opts);
 
 } // namespace asv::data
 

@@ -180,7 +180,7 @@ namespace
  */
 void
 updateFlow(const PolyExpansion &p1, const PolyExpansion &p2,
-           FlowField &flow, int blur_radius)
+           FlowField &flow, int blur_radius, const ExecContext &ctx)
 {
     const int w = flow.width(), h = flow.height();
 
@@ -221,11 +221,11 @@ updateFlow(const PolyExpansion &p1, const PolyExpansion &p2,
     }
 
     // Gaussian aggregation of the normal equations.
-    g11 = image::gaussianBlur(g11, blur_radius);
-    g12 = image::gaussianBlur(g12, blur_radius);
-    g22 = image::gaussianBlur(g22, blur_radius);
-    h1 = image::gaussianBlur(h1, blur_radius);
-    h2 = image::gaussianBlur(h2, blur_radius);
+    g11 = image::gaussianBlur(g11, blur_radius, -1.0, ctx);
+    g12 = image::gaussianBlur(g12, blur_radius, -1.0, ctx);
+    g22 = image::gaussianBlur(g22, blur_radius, -1.0, ctx);
+    h1 = image::gaussianBlur(h1, blur_radius, -1.0, ctx);
+    h2 = image::gaussianBlur(h2, blur_radius, -1.0, ctx);
 
     // Compute flow: per-pixel 2x2 solve.
     for (int y = 0; y < h; ++y) {
@@ -246,7 +246,8 @@ updateFlow(const PolyExpansion &p1, const PolyExpansion &p2,
 
 FlowField
 farnebackFlow(const image::Image &frame0, const image::Image &frame1,
-              const FarnebackParams &params, const FlowField *init)
+              const FarnebackParams &params, const FlowField *init,
+              const ExecContext &ctx)
 {
     panic_if(frame0.width() != frame1.width() ||
                  frame0.height() != frame1.height(),
@@ -255,17 +256,19 @@ farnebackFlow(const image::Image &frame0, const image::Image &frame1,
                       init->height() != frame0.height()),
              "init flow size mismatch");
 
-    const auto pyr0 = image::buildPyramid(frame0, params.pyramidLevels);
-    const auto pyr1 = image::buildPyramid(frame1, params.pyramidLevels);
+    const auto pyr0 = image::buildPyramid(
+        frame0, params.pyramidLevels, 16, ctx);
+    const auto pyr1 = image::buildPyramid(
+        frame1, params.pyramidLevels, 16, ctx);
     const int levels = static_cast<int>(pyr0.size());
 
     FlowField flow(pyr0[levels - 1].width(), pyr0[levels - 1].height());
     if (init) {
         const float s = 1.f / float(1 << (levels - 1));
         flow.u = image::resizeBilinear(init->u, flow.width(),
-                                       flow.height());
+                                       flow.height(), ctx);
         flow.v = image::resizeBilinear(init->v, flow.width(),
-                                       flow.height());
+                                       flow.height(), ctx);
         for (int64_t i = 0; i < flow.u.size(); ++i) {
             flow.u.data()[i] *= s;
             flow.v.data()[i] *= s;
@@ -281,9 +284,9 @@ farnebackFlow(const image::Image &frame0, const image::Image &frame1,
             const float sx = float(f0.width()) / flow.width();
             FlowField up(f0.width(), f0.height());
             up.u = image::resizeBilinear(flow.u, f0.width(),
-                                         f0.height());
+                                         f0.height(), ctx);
             up.v = image::resizeBilinear(flow.v, f0.width(),
-                                         f0.height());
+                                         f0.height(), ctx);
             for (int64_t i = 0; i < up.u.size(); ++i) {
                 up.u.data()[i] *= sx;
                 up.v.data()[i] *= sx;
@@ -297,9 +300,17 @@ farnebackFlow(const image::Image &frame0, const image::Image &frame1,
             polyExpansion(f1, params.polyRadius, params.polySigma);
 
         for (int it = 0; it < params.iterations; ++it)
-            updateFlow(p0, p1, flow, params.blurRadius);
+            updateFlow(p0, p1, flow, params.blurRadius, ctx);
     }
     return flow;
+}
+
+FlowField
+farnebackFlow(const image::Image &frame0, const image::Image &frame1,
+              const FarnebackParams &params, const FlowField *init)
+{
+    return farnebackFlow(frame0, frame1, params, init,
+                         ExecContext::global());
 }
 
 FarnebackCost

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "common/exec_context.hh"
 #include "flow/flow_field.hh"
 #include "image/image.hh"
 
@@ -64,14 +65,25 @@ PolyExpansion polyExpansion(const image::Image &img, int radius,
                             double sigma);
 
 /**
- * Estimate dense flow from @p frame0 to @p frame1.
+ * Estimate dense flow from @p frame0 to @p frame1. The convolutional
+ * stages (pyramid anti-alias blur, flow upsampling, the aggregation
+ * blurs of each iteration) fan out on @p ctx's pool; results are
+ * bit-identical for any worker count.
  *
  * @param frame0 source frame
  * @param frame1 target frame
  * @param params estimator parameters
  * @param init   optional initial flow (same size as frame0); used by
  *               ISM to seed from the previous frame's motion
+ * @param ctx    pool the convolutional stages are partitioned across
  */
+FlowField farnebackFlow(const image::Image &frame0,
+                        const image::Image &frame1,
+                        const FarnebackParams &params,
+                        const FlowField *init,
+                        const ExecContext &ctx);
+
+/** farnebackFlow() on the process-global pool (legacy signature). */
 FlowField farnebackFlow(const image::Image &frame0,
                         const image::Image &frame1,
                         const FarnebackParams &params = {},

@@ -29,7 +29,8 @@ gaussianKernel1d(int radius, double sigma)
 }
 
 Image
-gaussianBlur(const Image &src, int radius, double sigma)
+gaussianBlur(const Image &src, int radius, double sigma,
+             const ExecContext &ctx)
 {
     if (radius == 0)
         return src;
@@ -37,25 +38,38 @@ gaussianBlur(const Image &src, int radius, double sigma)
     const int w = src.width(), h = src.height();
 
     Image tmp(w, h), dst(w, h);
-    // Horizontal pass.
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            double acc = 0.0;
-            for (int i = -radius; i <= radius; ++i)
-                acc += k[i + radius] * src.atClamped(x + i, y);
-            tmp.at(x, y) = static_cast<float>(acc);
+    // Horizontal pass: rows are independent and each writes a
+    // disjoint slice of tmp.
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < w; ++x) {
+                double acc = 0.0;
+                for (int i = -radius; i <= radius; ++i)
+                    acc += k[i + radius] * src.atClamped(x + i, y);
+                tmp.at(x, y) = static_cast<float>(acc);
+            }
         }
-    }
-    // Vertical pass.
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            double acc = 0.0;
-            for (int i = -radius; i <= radius; ++i)
-                acc += k[i + radius] * tmp.atClamped(x, y + i);
-            dst.at(x, y) = static_cast<float>(acc);
+    });
+    // Vertical pass: reads cross row chunks, but tmp is complete
+    // (the horizontal pass barriers) and each row writes only its
+    // own slice of dst.
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < w; ++x) {
+                double acc = 0.0;
+                for (int i = -radius; i <= radius; ++i)
+                    acc += k[i + radius] * tmp.atClamped(x, y + i);
+                dst.at(x, y) = static_cast<float>(acc);
+            }
         }
-    }
+    });
     return dst;
+}
+
+Image
+gaussianBlur(const Image &src, int radius, double sigma)
+{
+    return gaussianBlur(src, radius, sigma, ExecContext::global());
 }
 
 int64_t
@@ -67,26 +81,37 @@ gaussianBlurOps(int width, int height, int radius)
 }
 
 Image
-resizeBilinear(const Image &src, int new_width, int new_height)
+resizeBilinear(const Image &src, int new_width, int new_height,
+               const ExecContext &ctx)
 {
     panic_if(new_width <= 0 || new_height <= 0, "bad resize target");
     Image dst(new_width, new_height);
     const float sx = float(src.width()) / new_width;
     const float sy = float(src.height()) / new_height;
-    for (int y = 0; y < new_height; ++y) {
-        for (int x = 0; x < new_width; ++x) {
-            const float fx = (x + 0.5f) * sx - 0.5f;
-            const float fy = (y + 0.5f) * sy - 0.5f;
-            dst.at(x, y) = src.sample(fx, fy);
+    // Output rows are independent.
+    ctx.parallelFor(0, new_height, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < new_width; ++x) {
+                const float fx = (x + 0.5f) * sx - 0.5f;
+                const float fy = (y + 0.5f) * sy - 0.5f;
+                dst.at(x, y) = src.sample(fx, fy);
+            }
         }
-    }
+    });
     return dst;
 }
 
 Image
-downsample2x(const Image &src)
+resizeBilinear(const Image &src, int new_width, int new_height)
 {
-    Image blurred = gaussianBlur(src, 1, 0.8);
+    return resizeBilinear(src, new_width, new_height,
+                          ExecContext::global());
+}
+
+Image
+downsample2x(const Image &src, const ExecContext &ctx)
+{
+    Image blurred = gaussianBlur(src, 1, 0.8, ctx);
     const int w = std::max(1, src.width() / 2);
     const int h = std::max(1, src.height() / 2);
     Image dst(w, h);
@@ -94,6 +119,12 @@ downsample2x(const Image &src)
         for (int x = 0; x < w; ++x)
             dst.at(x, y) = blurred.atClamped(2 * x, 2 * y);
     return dst;
+}
+
+Image
+downsample2x(const Image &src)
+{
+    return downsample2x(src, ExecContext::global());
 }
 
 Image
@@ -119,7 +150,8 @@ gradientY(const Image &src)
 }
 
 std::vector<Image>
-buildPyramid(const Image &src, int levels, int min_size)
+buildPyramid(const Image &src, int levels, int min_size,
+             const ExecContext &ctx)
 {
     panic_if(levels < 1, "pyramid needs at least one level");
     std::vector<Image> pyr;
@@ -128,9 +160,16 @@ buildPyramid(const Image &src, int levels, int min_size)
         const Image &prev = pyr.back();
         if (prev.width() / 2 < min_size || prev.height() / 2 < min_size)
             break;
-        pyr.push_back(downsample2x(prev));
+        pyr.push_back(downsample2x(prev, ctx));
     }
     return pyr;
+}
+
+std::vector<Image>
+buildPyramid(const Image &src, int levels, int min_size)
+{
+    return buildPyramid(src, levels, min_size,
+                        ExecContext::global());
 }
 
 double

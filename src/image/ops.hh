@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_context.hh"
 #include "image/image.hh"
 
 namespace asv::image
@@ -25,21 +26,39 @@ namespace asv::image
 std::vector<float> gaussianKernel1d(int radius, double sigma);
 
 /**
- * Separable Gaussian blur with replicate borders.
+ * Separable Gaussian blur with replicate borders. Both passes are
+ * partitioned by row across @p ctx's pool; each output pixel is
+ * computed with the exact serial reduction, so results are
+ * bit-identical for any worker count.
  *
  * @param src    input image
  * @param radius kernel radius (kernel size 2*radius+1)
  * @param sigma  Gaussian sigma; if <= 0 a radius-derived default is used
+ * @param ctx    pool the rows are partitioned across
  */
+Image gaussianBlur(const Image &src, int radius, double sigma,
+                   const ExecContext &ctx);
+
+/** gaussianBlur() on the process-global pool (legacy signature). */
 Image gaussianBlur(const Image &src, int radius, double sigma = -1.0);
 
 /** Arithmetic op count of gaussianBlur on a w x h image. */
 int64_t gaussianBlurOps(int width, int height, int radius);
 
-/** Bilinear resize to the exact target size. */
+/**
+ * Bilinear resize to the exact target size, partitioned by output
+ * row across @p ctx's pool (bit-identical for any worker count).
+ */
+Image resizeBilinear(const Image &src, int new_width, int new_height,
+                     const ExecContext &ctx);
+
+/** resizeBilinear() on the process-global pool (legacy signature). */
 Image resizeBilinear(const Image &src, int new_width, int new_height);
 
-/** Downsample by 2 with a small anti-aliasing blur. */
+/** Downsample by 2 with a small anti-aliasing blur on @p ctx. */
+Image downsample2x(const Image &src, const ExecContext &ctx);
+
+/** downsample2x() on the process-global pool (legacy signature). */
 Image downsample2x(const Image &src);
 
 /** Central-difference horizontal gradient. */
@@ -50,9 +69,13 @@ Image gradientY(const Image &src);
 
 /**
  * Gaussian image pyramid, level 0 = full resolution, each subsequent
- * level downsampled by 2. Stops early if a level would drop below
- * @p min_size in either dimension.
+ * level downsampled by 2 (anti-alias blur on @p ctx). Stops early if
+ * a level would drop below @p min_size in either dimension.
  */
+std::vector<Image> buildPyramid(const Image &src, int levels,
+                                int min_size, const ExecContext &ctx);
+
+/** buildPyramid() on the process-global pool (legacy signature). */
 std::vector<Image> buildPyramid(const Image &src, int levels,
                                 int min_size = 16);
 

@@ -107,7 +107,8 @@ matchPixel(const image::Image &left, const image::Image &right, int x,
 
 DisparityMap
 blockMatching(const image::Image &left, const image::Image &right,
-              const BlockMatchingParams &params)
+              const BlockMatchingParams &params,
+              const ExecContext &ctx)
 {
     panic_if(left.width() != right.width() ||
                  left.height() != right.height(),
@@ -116,7 +117,7 @@ blockMatching(const image::Image &left, const image::Image &right,
 
     DisparityMap disp(left.width(), left.height());
     // Pixels are independent; partition the SAD search by row.
-    parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
+    ctx.parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
         for (int y = int(y0); y < int(y1); ++y) {
             for (int x = 0; x < left.width(); ++x) {
                 const int d_hi = std::min(params.maxDisparity, x);
@@ -129,9 +130,17 @@ blockMatching(const image::Image &left, const image::Image &right,
 }
 
 DisparityMap
+blockMatching(const image::Image &left, const image::Image &right,
+              const BlockMatchingParams &params)
+{
+    return blockMatching(left, right, params, ExecContext::global());
+}
+
+DisparityMap
 refineDisparity(const image::Image &left, const image::Image &right,
                 const DisparityMap &init, int radius,
-                const BlockMatchingParams &params)
+                const BlockMatchingParams &params,
+                const ExecContext &ctx)
 {
     panic_if(left.width() != right.width() ||
                  left.height() != right.height(),
@@ -142,7 +151,7 @@ refineDisparity(const image::Image &left, const image::Image &right,
     fatal_if(radius < 0, "negative refinement radius");
 
     DisparityMap disp(left.width(), left.height());
-    parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
+    ctx.parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
         for (int y = int(y0); y < int(y1); ++y) {
             for (int x = 0; x < left.width(); ++x) {
                 const float d0 = init.at(x, y);
@@ -165,6 +174,15 @@ refineDisparity(const image::Image &left, const image::Image &right,
         }
     });
     return disp;
+}
+
+DisparityMap
+refineDisparity(const image::Image &left, const image::Image &right,
+                const DisparityMap &init, int radius,
+                const BlockMatchingParams &params)
+{
+    return refineDisparity(left, right, init, radius, params,
+                           ExecContext::global());
 }
 
 int64_t

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 
+#include "common/exec_context.hh"
 #include "image/image.hh"
 #include "stereo/disparity.hh"
 
@@ -41,10 +42,19 @@ struct BlockMatchingParams
 
 /**
  * Classic full-search block matching over the whole disparity range.
+ * The row-parallel SAD search fans out on @p ctx's pool; results are
+ * bit-identical for any worker count.
  *
  * @param left  reference image
  * @param right matching image
+ * @param ctx   pool the search is partitioned across
  */
+DisparityMap blockMatching(const image::Image &left,
+                           const image::Image &right,
+                           const BlockMatchingParams &params,
+                           const ExecContext &ctx);
+
+/** blockMatching() on the process-global pool (legacy signature). */
 DisparityMap blockMatching(const image::Image &left,
                            const image::Image &right,
                            const BlockMatchingParams &params = {});
@@ -57,7 +67,15 @@ DisparityMap blockMatching(const image::Image &left,
  * @param right  matching image
  * @param init   initial disparity per pixel (propagated correspondence)
  * @param radius search window radius around the initial estimate
+ * @param ctx    pool the search is partitioned across
  */
+DisparityMap refineDisparity(const image::Image &left,
+                             const image::Image &right,
+                             const DisparityMap &init, int radius,
+                             const BlockMatchingParams &params,
+                             const ExecContext &ctx);
+
+/** refineDisparity() on the process-global pool (legacy signature). */
 DisparityMap refineDisparity(const image::Image &left,
                              const image::Image &right,
                              const DisparityMap &init, int radius,

@@ -104,13 +104,14 @@ subpixelOffset(uint32_t cm, uint32_t c0, uint32_t cp)
 } // namespace
 
 std::vector<uint64_t>
-censusTransform(const image::Image &img, int radius)
+censusTransform(const image::Image &img, int radius,
+                const ExecContext &ctx)
 {
     fatal_if(radius < 1 || radius > 3,
              "census radius must be in [1, 3] (bits must fit uint64)");
     std::vector<uint64_t> census(int64_t(img.width()) * img.height());
     // Rows are independent; each writes a disjoint slice of census.
-    parallelFor(0, img.height(), [&](int64_t y0, int64_t y1) {
+    ctx.parallelFor(0, img.height(), [&](int64_t y0, int64_t y1) {
         for (int y = int(y0); y < int(y1); ++y) {
             for (int x = 0; x < img.width(); ++x) {
                 const float center = img.at(x, y);
@@ -132,6 +133,12 @@ censusTransform(const image::Image &img, int radius)
     return census;
 }
 
+std::vector<uint64_t>
+censusTransform(const image::Image &img, int radius)
+{
+    return censusTransform(img, radius, ExecContext::global());
+}
+
 int64_t
 sgmOps(int width, int height, const SgmParams &params)
 {
@@ -148,7 +155,7 @@ sgmOps(int width, int height, const SgmParams &params)
 
 DisparityMap
 sgmCompute(const image::Image &left, const image::Image &right,
-           const SgmParams &params)
+           const SgmParams &params, const ExecContext &ctx)
 {
     panic_if(left.width() != right.width() ||
                  left.height() != right.height(),
@@ -158,10 +165,10 @@ sgmCompute(const image::Image &left, const image::Image &right,
     const VolumeView vol{w, h, nd};
 
     // 1. Census + Hamming cost volume.
-    const auto cl = censusTransform(left, params.censusRadius);
-    const auto cr = censusTransform(right, params.censusRadius);
+    const auto cl = censusTransform(left, params.censusRadius, ctx);
+    const auto cr = censusTransform(right, params.censusRadius, ctx);
     std::vector<uint16_t> cost(vol.size());
-    parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
         for (int y = int(y0); y < int(y1); ++y) {
             for (int x = 0; x < w; ++x) {
                 for (int d = 0; d < nd; ++d) {
@@ -183,7 +190,7 @@ sgmCompute(const image::Image &left, const image::Image &right,
     std::vector<uint32_t> total(vol.size(), 0);
     const int dirs[8][2] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
                             {1, 1},  {-1, 1}, {1, -1}, {-1, -1}};
-    ThreadPool &pool = ThreadPool::global();
+    ThreadPool &pool = ctx.pool();
     if (pool.numThreads() <= 1) {
         for (const auto &dir : dirs) {
             aggregateDirection(cost, vol, dir[0], dir[1], params.p1,
@@ -217,7 +224,7 @@ sgmCompute(const image::Image &left, const image::Image &right,
 
     // 3. Winner-take-all with sub-pixel refinement.
     DisparityMap disp(w, h);
-    parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
         for (int y = int(y0); y < int(y1); ++y) {
             for (int x = 0; x < w; ++x) {
                 const uint32_t *s = &total[vol.idx(x, y, 0)];
@@ -238,7 +245,7 @@ sgmCompute(const image::Image &left, const image::Image &right,
     // disparity of right pixel xr is argmin_d total(xr + d, y, d).
     if (params.leftRightCheck) {
         DisparityMap right_disp(w, h);
-        parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
             for (int y = int(y0); y < int(y1); ++y) {
                 for (int xr = 0; xr < w; ++xr) {
                     int best = 0;
@@ -258,7 +265,7 @@ sgmCompute(const image::Image &left, const image::Image &right,
                 }
             }
         });
-        parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
             for (int y = int(y0); y < int(y1); ++y) {
                 for (int x = 0; x < w; ++x) {
                     const int d =
@@ -275,6 +282,13 @@ sgmCompute(const image::Image &left, const image::Image &right,
     }
 
     return disp;
+}
+
+DisparityMap
+sgmCompute(const image::Image &left, const image::Image &right,
+           const SgmParams &params)
+{
+    return sgmCompute(left, right, params, ExecContext::global());
 }
 
 } // namespace asv::stereo

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_context.hh"
 #include "image/image.hh"
 #include "stereo/disparity.hh"
 
@@ -40,12 +41,28 @@ struct SgmParams
  * per pixel (r <= 3 fits in 48 bits).
  */
 std::vector<uint64_t> censusTransform(const image::Image &img,
+                                      int radius,
+                                      const ExecContext &ctx);
+
+/** censusTransform() on the process-global pool (legacy signature). */
+std::vector<uint64_t> censusTransform(const image::Image &img,
                                       int radius);
 
 /** Number of arithmetic ops of sgmCompute on a w x h frame. */
 int64_t sgmOps(int width, int height, const SgmParams &params);
 
-/** Run SGM and return the left-reference disparity map. */
+/**
+ * Run SGM and return the left-reference disparity map. Every stage
+ * (census, cost volume, the 8-path aggregation, WTA, the L/R check)
+ * fans out on @p ctx's pool; results are bit-identical for any
+ * worker count.
+ */
+DisparityMap sgmCompute(const image::Image &left,
+                        const image::Image &right,
+                        const SgmParams &params,
+                        const ExecContext &ctx);
+
+/** sgmCompute() on the process-global pool (legacy signature). */
 DisparityMap sgmCompute(const image::Image &left,
                         const image::Image &right,
                         const SgmParams &params = {});

@@ -51,7 +51,7 @@ convOutShape(const Shape &input, const Shape &weight, const ConvSpec &spec)
 
 Tensor
 convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
-       ConvOp op, ConvStats *stats)
+       ConvOp op, ConvStats *stats, const ExecContext &ctx)
 {
     const Shape out_shape = convOutShape(input.shape(), weight.shape(),
                                          spec);
@@ -69,7 +69,7 @@ convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
     // per chunk and are reduced in chunk order (exact integer sums).
     Shape kspatial(weight.shape().begin() + 2, weight.shape().end());
 
-    ThreadPool &pool = ThreadPool::global();
+    ThreadPool &pool = ctx.pool();
     const size_t nc =
         ThreadPool::partition(0, out.size(), pool.numThreads()).size();
     std::vector<ConvStats> local(std::max<size_t>(nc, 1));
@@ -137,6 +137,14 @@ convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
     }
 
     return out;
+}
+
+Tensor
+convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
+       ConvOp op, ConvStats *stats)
+{
+    return convNd(input, weight, spec, op, stats,
+                  ExecContext::global());
 }
 
 } // namespace asv::tensor

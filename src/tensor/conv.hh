@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "common/exec_context.hh"
 #include "tensor/tensor.hh"
 
 namespace asv::tensor
@@ -69,15 +70,23 @@ Shape convOutShape(const Shape &input, const Shape &weight,
                    const ConvSpec &spec);
 
 /**
- * Reference convolution.
+ * Reference convolution. The flat output range is statically
+ * partitioned across @p ctx's pool; results are bit-identical for
+ * any worker count.
  *
  * @param input  [C, spatial...]
  * @param weight [K, C, kspatial...]
  * @param spec   stride/padding per spatial dim
  * @param op     MAC (default) or SAD reduction
  * @param stats  if non-null, accumulates op counts
+ * @param ctx    pool the output range is partitioned across
  * @return       [K, outspatial...]
  */
+Tensor convNd(const Tensor &input, const Tensor &weight,
+              const ConvSpec &spec, ConvOp op, ConvStats *stats,
+              const ExecContext &ctx);
+
+/** convNd() on the process-global pool (legacy signature). */
 Tensor convNd(const Tensor &input, const Tensor &weight,
               const ConvSpec &spec, ConvOp op = ConvOp::MAC,
               ConvStats *stats = nullptr);
