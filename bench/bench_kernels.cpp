@@ -3,12 +3,19 @@
  * google-benchmark microbenchmarks of the functional kernels: the
  * reference deconvolution vs the transformed execution (the wall
  * clock counterpart of the op-count savings), Farnebäck flow, block
- * matching and SGM.
+ * matching and SGM, plus a per-SIMD-level sweep of the census and
+ * Hamming cost-volume kernels (the ≥2x vector-vs-scalar datapoints
+ * tracked in BENCH_kernels.json). The benchmark context records the
+ * dispatched ISA (asv_simd) so trajectory comparisons across hosts
+ * stay meaningful.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "data/scene.hh"
 #include "deconv/transform.hh"
 #include "flow/farneback.hh"
@@ -127,6 +134,83 @@ BM_Sgm(benchmark::State &state)
 // the wall clock, not the calling thread's CPU time, the metric).
 BENCHMARK(BM_Sgm)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
 
+// --------------------------------------------------- SIMD level sweep
+//
+// One benchmark instance per supported ISA, so the scalar baseline
+// and the vector backends land in the same BENCH_kernels.json run
+// (the ≥2x census / cost-volume acceptance datapoints).
+
+/** Force a level for one benchmark, restoring the active one after
+ * (so an ASV_SIMD override keeps governing the rest of the run). */
+class LevelGuard
+{
+  public:
+    explicit LevelGuard(simd::Level level)
+        : previous_(simd::activeLevel())
+    {
+        simd::setLevel(level);
+    }
+    ~LevelGuard() { simd::setLevel(previous_); }
+
+  private:
+    simd::Level previous_;
+};
+
+void
+BM_Census(benchmark::State &state, simd::Level level)
+{
+    LevelGuard guard(level);
+    Rng rng(7);
+    const int n = int(state.range(0));
+    image::Image img = data::makeTexture(n, n, 8.f, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stereo::censusTransform(img, 2));
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+void
+BM_CostVolume(benchmark::State &state, simd::Level level)
+{
+    LevelGuard guard(level);
+    Rng rng(8);
+    const int n = int(state.range(0));
+    image::Image left = data::makeTexture(n, n, 8.f, rng);
+    image::Image right = data::makeTexture(n, n, 8.f, rng);
+    stereo::SgmParams p;
+    p.maxDisparity = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stereo::sgmCostVolume(
+            left, right, p, ExecContext::global()));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (simd::Level level :
+         {simd::Level::Scalar, simd::Level::Sse42, simd::Level::Avx2,
+          simd::Level::Neon}) {
+        if (!simd::levelSupported(level))
+            continue;
+        const std::string suffix = simd::levelName(level);
+        benchmark::RegisterBenchmark(
+            ("BM_Census/" + suffix).c_str(), BM_Census, level)
+            ->Arg(256);
+        benchmark::RegisterBenchmark(
+            ("BM_CostVolume/" + suffix).c_str(), BM_CostVolume,
+            level)
+            ->Arg(256);
+    }
+    benchmark::AddCustomContext("asv_simd", simd::activeName());
+    benchmark::AddCustomContext(
+        "asv_simd_best", simd::levelName(simd::bestSupported()));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -5,16 +5,22 @@
 # tracked across PRs.
 #
 # Usage: bench/run_benchmarks.sh [output.json]
-#   BUILD_DIR   build tree to use (default: build)
+#   BUILD_DIR   build tree to use (default: build-bench, configured
+#               as Release — never a developer's ./build cache)
 #   ASV_THREADS worker count for the threaded kernels (default: all)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build}"
+# A dedicated build tree by default: the harness forces Release and
+# must not silently reconfigure a developer's ./build cache.
+BUILD_DIR="${BUILD_DIR:-build-bench}"
 OUT="${1:-BENCH_kernels.json}"
 
-cmake -B "$BUILD_DIR" -S .
+# Force an optimized library build: benchmark numbers from a debug
+# tree poison the perf trajectory (BENCH_kernels.json once recorded
+# "library_build_type": "debug").
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target bench_kernels bench_stream \
     bench_matcher_dispatch
 
@@ -39,22 +45,32 @@ trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON"' EXIT
     --benchmark_out_format=json
 
 # Append the streaming and dispatch datapoints to the kernel
-# results so one file carries the whole trajectory.
+# results so one file carries the whole trajectory, and stamp the
+# asv build type actually configured (google-benchmark's own
+# "library_build_type" describes the benchmark library, not us).
+ASV_BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "$BUILD_DIR/CMakeCache.txt")"
 if command -v python3 >/dev/null 2>&1; then
+    ASV_BUILD_TYPE="$ASV_BUILD_TYPE" \
     python3 - "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" "$OUT" <<'PY'
-import json, sys
+import json, os, sys
 kernels, extras, out = sys.argv[1], sys.argv[2:-1], sys.argv[-1]
 with open(kernels) as f:
     merged = json.load(f)
 for path in extras:
     with open(path) as f:
         merged["benchmarks"] += json.load(f)["benchmarks"]
+merged["context"]["asv_build_type"] = os.environ.get(
+    "ASV_BUILD_TYPE", "unknown")
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 PY
 elif command -v jq >/dev/null 2>&1; then
-    jq -s '.[0].benchmarks += (.[1].benchmarks + .[2].benchmarks) | .[0]' \
+    ASV_BUILD_TYPE="$ASV_BUILD_TYPE" jq -s \
+        '.[0].benchmarks += (.[1].benchmarks + .[2].benchmarks)
+         | .[0].context.asv_build_type = env.ASV_BUILD_TYPE
+         | .[0]' \
         "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" > "$OUT"
 else
     echo "neither python3 nor jq available; writing kernels only" >&2

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the stereo hot path.
+ *
+ * The three inner loops that dominate classical stereo — census
+ * bit-packing, XOR+popcount Hamming cost rows, and SAD accumulation
+ * for block matching — carry 8-32x of data-level parallelism that
+ * scalar per-pixel loops leave on the table. This layer exposes them
+ * as a table of function pointers (`Kernels`) with one implementation
+ * per ISA, selected once at startup:
+ *
+ *  - detection order: AVX2 > SSE4.2 > NEON > scalar, via cpuid
+ *    (`__builtin_cpu_supports`); only levels both compiled into the
+ *    binary and supported by the host CPU are eligible;
+ *  - override with `ASV_SIMD=scalar|sse42|avx2|neon|native`
+ *    ("native" = best supported, the default). Requesting a level the
+ *    host or build cannot run is a fatal configuration error;
+ *  - tests force a level programmatically with setLevel().
+ *
+ * Each per-ISA implementation lives in its own translation unit
+ * (simd_<isa>.cc) compiled with that ISA's target flags, so the rest
+ * of the library keeps the portable baseline ABI and illegal
+ * instructions can never leak into the dispatch path.
+ *
+ * Bit-identity contract: every level produces results bit-identical
+ * to the scalar reference. Census and Hamming kernels are pure
+ * integer/predicate arithmetic, so this is automatic; the SAD kernel
+ * vectorizes across *candidates* (one disparity per lane) so each
+ * lane performs the exact double-precision accumulation sequence of
+ * the scalar loop. Adding an ISA means porting the three kernels
+ * under the same contract (see README "SIMD backends").
+ */
+
+#ifndef ASV_COMMON_SIMD_HH
+#define ASV_COMMON_SIMD_HH
+
+#include <cstdint>
+
+namespace asv::simd
+{
+
+/** Instruction-set level of a kernel table. */
+enum class Level {
+    Scalar = 0, //!< portable reference (always available)
+    Sse42 = 1,  //!< x86 SSE4.2 + POPCNT
+    Avx2 = 2,   //!< x86 AVX2 (popcount-by-nibble, 256-bit lanes)
+    Neon = 3,   //!< aarch64 NEON (stub slot; not yet implemented)
+};
+
+/**
+ * Census bit-pack for interior pixels [x0, x1) of one row.
+ *
+ * @p rows holds the 2*radius+1 y-clamped row base pointers (index t
+ * corresponds to dy = t - radius; rows[radius] is the center row).
+ * For each x, writes out[x] = the (2r+1)^2-1 neighbor-less-than-center
+ * bits in (dy, dx) raster order, MSB first — exactly the scalar
+ * censusTransform() encoding. The caller guarantees x0 >= radius and
+ * x1 <= width - radius so no x-clamping is needed.
+ */
+using CensusRowFn = void (*)(const float *const *rows, int radius,
+                             int x0, int x1, uint64_t *out);
+
+/** out[i] = popcount(a[i] ^ b[i]) for i in [0, n). */
+using HammingRowFn = void (*)(const uint64_t *a, const uint64_t *b,
+                              int n, uint16_t *out);
+
+/**
+ * SAD over a span of disparity candidates at one pixel.
+ *
+ * @p lrows / @p rrows hold the 2*radius+1 y-clamped row base pointers
+ * of the left/right image. For each candidate j in [0, n), with
+ * d = d0 + j, writes
+ *
+ *   cost[j] = sum over (t, dx) of
+ *             |double(lrows[t][x+dx]) - rrows[t][x+dx-d]|
+ *
+ * accumulated in double precision in (t, dx ascending) order — the
+ * exact operation sequence of the scalar SAD loop, so every lane is
+ * bit-identical to it. The caller guarantees all taps are in bounds:
+ * x-radius >= 0, x+radius < width, x-(d0+n-1)-radius >= 0 and
+ * x-d0+radius < width.
+ */
+using SadSpanFn = void (*)(const float *const *lrows,
+                           const float *const *rrows, int radius,
+                           int x, int d0, int n, double *cost);
+
+/** One ISA's kernel table. */
+struct Kernels
+{
+    const char *name;     //!< "scalar" / "sse42" / "avx2" / "neon"
+    Level level;          //!< ISA this table was compiled for
+    CensusRowFn censusRow;
+    HammingRowFn hammingRow;
+    SadSpanFn sadSpan;
+};
+
+/**
+ * The active kernel table. Selected on first use from ASV_SIMD (or
+ * cpuid when unset/"native"); stable afterwards unless setLevel() is
+ * called. Call sites fetch the table once per kernel invocation and
+ * pass it down, so a concurrent setLevel() never tears a computation.
+ */
+const Kernels &kernels();
+
+/** Level / name of the active table. */
+Level activeLevel();
+const char *activeName();
+
+/** Static name of @p level ("scalar", "sse42", ...). */
+const char *levelName(Level level);
+
+/**
+ * Kernel table for @p level, or nullptr when the host CPU cannot run
+ * it or the build did not compile it (e.g. NEON on x86).
+ */
+const Kernels *kernelsFor(Level level);
+
+/** True if kernelsFor(level) would return a table. */
+bool levelSupported(Level level);
+
+/** Best level this host + build supports (>= Level::Scalar). */
+Level bestSupported();
+
+/**
+ * Force the active table (tests and tools; not a hot-path API).
+ * Fatal if @p level is unsupported on this host/build.
+ */
+void setLevel(Level level);
+
+namespace detail
+{
+
+/** Per-ISA table getters; nullptr when not compiled into the build. */
+const Kernels *scalarKernels();
+const Kernels *sse42Kernels();
+const Kernels *avx2Kernels();
+const Kernels *neonKernels();
+
+} // namespace detail
+
+} // namespace asv::simd
+
+#endif // ASV_COMMON_SIMD_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * AVX2 kernel table: 8-wide census bit-packing, popcount-by-nibble
+ * (PSHUFB lookup + SAD reduction) Hamming rows over 4x64-bit lanes,
+ * and 8-wide (two 4-lane double accumulators) SAD spans.
+ *
+ * Compiled with -mavx2 -mpopcnt (see CMakeLists); degrades to a
+ * nullptr getter without those flags.
+ */
+
+#include "common/simd.hh"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "common/simd_reference.hh"
+
+namespace asv::simd::detail
+{
+
+namespace
+{
+
+void
+censusRowAvx2(const float *const *rows, int radius, int x0, int x1,
+              uint64_t *out)
+{
+    const float *center = rows[radius];
+    const int taps = 2 * radius + 1;
+    int x = x0;
+    // 8 pixels per iteration: the float comparison mask is widened to
+    // two 4x64-bit registers and shifted in MSB-first, matching the
+    // scalar (dy, dx) encoding bit for bit.
+    for (; x + 8 <= x1; x += 8) {
+        const __m256 c = _mm256_loadu_ps(center + x);
+        __m256i lo = _mm256_setzero_si256(); // pixels x .. x+3
+        __m256i hi = _mm256_setzero_si256(); // pixels x+4 .. x+7
+        for (int t = 0; t < taps; ++t) {
+            const float *row = rows[t];
+            for (int dx = -radius; dx <= radius; ++dx) {
+                if (t == radius && dx == 0)
+                    continue;
+                const __m256 nb = _mm256_loadu_ps(row + x + dx);
+                const __m256i m = _mm256_castps_si256(
+                    _mm256_cmp_ps(nb, c, _CMP_LT_OQ));
+                const __m256i mlo = _mm256_cvtepi32_epi64(
+                    _mm256_castsi256_si128(m));
+                const __m256i mhi = _mm256_cvtepi32_epi64(
+                    _mm256_extracti128_si256(m, 1));
+                lo = _mm256_or_si256(_mm256_slli_epi64(lo, 1),
+                                     _mm256_srli_epi64(mlo, 63));
+                hi = _mm256_or_si256(_mm256_slli_epi64(hi, 1),
+                                     _mm256_srli_epi64(mhi, 63));
+            }
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + x), lo);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + x + 4),
+                            hi);
+    }
+    // Sub-vector tail: the shared scalar reference loop.
+    censusRowRef(rows, radius, x, x1, out);
+}
+
+void
+hammingRowAvx2(const uint64_t *a, const uint64_t *b, int n,
+               uint16_t *out)
+{
+    // Popcount-by-nibble: per-byte PSHUFB lookup of both nibbles'
+    // bit counts, then a horizontal SAD-against-zero reduction per
+    // 64-bit lane.
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2,
+        1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        const __m256i x = _mm256_xor_si256(va, vb);
+        const __m256i nlo = _mm256_and_si256(x, low);
+        const __m256i nhi =
+            _mm256_and_si256(_mm256_srli_epi64(x, 4), low);
+        const __m256i cnt =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lut, nlo),
+                            _mm256_shuffle_epi8(lut, nhi));
+        const __m256i sums = _mm256_sad_epu8(cnt, zero);
+        alignas(32) uint64_t tmp[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), sums);
+        out[i] = static_cast<uint16_t>(tmp[0]);
+        out[i + 1] = static_cast<uint16_t>(tmp[1]);
+        out[i + 2] = static_cast<uint16_t>(tmp[2]);
+        out[i + 3] = static_cast<uint16_t>(tmp[3]);
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<uint16_t>(_mm_popcnt_u64(a[i] ^ b[i]));
+}
+
+void
+sadSpanAvx2(const float *const *lrows, const float *const *rrows,
+            int radius, int x, int d0, int n, double *cost)
+{
+    const int taps = 2 * radius + 1;
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    int j = 0;
+    // 8 candidates per iteration in two 4-lane double accumulators.
+    // Lane k of block m holds candidate d0+j+4m+k; right-image
+    // addresses decrease with the candidate, so load ascending and
+    // reverse before widening to double.
+    for (; j + 8 <= n; j += 8) {
+        const int d = d0 + j;
+        __m256d acc0 = _mm256_setzero_pd();
+        __m256d acc1 = _mm256_setzero_pd();
+        for (int t = 0; t < taps; ++t) {
+            const float *l = lrows[t];
+            const float *r = rrows[t];
+            for (int dx = -radius; dx <= radius; ++dx) {
+                const __m256d lv = _mm256_set1_pd(double(l[x + dx]));
+                const float *rp = r + x + dx - d;
+                __m128 r0 = _mm_loadu_ps(rp - 3);
+                __m128 r1 = _mm_loadu_ps(rp - 7);
+                r0 = _mm_shuffle_ps(r0, r0, _MM_SHUFFLE(0, 1, 2, 3));
+                r1 = _mm_shuffle_ps(r1, r1, _MM_SHUFFLE(0, 1, 2, 3));
+                const __m256d d0v =
+                    _mm256_sub_pd(lv, _mm256_cvtps_pd(r0));
+                const __m256d d1v =
+                    _mm256_sub_pd(lv, _mm256_cvtps_pd(r1));
+                acc0 = _mm256_add_pd(acc0,
+                                     _mm256_andnot_pd(sign, d0v));
+                acc1 = _mm256_add_pd(acc1,
+                                     _mm256_andnot_pd(sign, d1v));
+            }
+        }
+        _mm256_storeu_pd(cost + j, acc0);
+        _mm256_storeu_pd(cost + j + 4, acc1);
+    }
+    for (; j + 4 <= n; j += 4) {
+        const int d = d0 + j;
+        __m256d acc = _mm256_setzero_pd();
+        for (int t = 0; t < taps; ++t) {
+            const float *l = lrows[t];
+            const float *r = rrows[t];
+            for (int dx = -radius; dx <= radius; ++dx) {
+                const __m256d lv = _mm256_set1_pd(double(l[x + dx]));
+                __m128 rf = _mm_loadu_ps(r + x + dx - d - 3);
+                rf = _mm_shuffle_ps(rf, rf, _MM_SHUFFLE(0, 1, 2, 3));
+                const __m256d diff =
+                    _mm256_sub_pd(lv, _mm256_cvtps_pd(rf));
+                acc = _mm256_add_pd(acc,
+                                    _mm256_andnot_pd(sign, diff));
+            }
+        }
+        _mm256_storeu_pd(cost + j, acc);
+    }
+    sadSpanRef(lrows, rrows, radius, x, d0, j, n - j, cost);
+}
+
+constexpr Kernels kAvx2Kernels = {
+    "avx2", Level::Avx2, censusRowAvx2, hammingRowAvx2, sadSpanAvx2,
+};
+
+} // namespace
+
+const Kernels *
+avx2Kernels()
+{
+    return &kAvx2Kernels;
+}
+
+} // namespace asv::simd::detail
+
+#else // !x86 or no -mavx2
+
+namespace asv::simd::detail
+{
+
+const Kernels *
+avx2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace asv::simd::detail
+
+#endif

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * NEON kernel table slot — stub.
+ *
+ * The dispatch layer, the Level::Neon enum value, the ASV_SIMD=neon
+ * override, and this translation unit are all wired; porting the
+ * three kernels (census bit-pack via vcltq_f32 + shift/or, Hamming
+ * rows via veorq_u64 + vcntq_u8 + vpaddlq, SAD spans via 2-lane
+ * float64x2_t accumulators) under the bit-identity contract is the
+ * remaining work. Until then the getter returns nullptr, so aarch64
+ * hosts run the scalar table and ASV_SIMD=neon fails loudly instead
+ * of silently falling back.
+ */
+
+#include "common/simd.hh"
+
+namespace asv::simd::detail
+{
+
+const Kernels *
+neonKernels()
+{
+    return nullptr;
+}
+
+} // namespace asv::simd::detail

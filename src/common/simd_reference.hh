@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared scalar reference loops for the SIMD kernel table.
+ *
+ * One definition of the census bit-pack, Hamming popcount, and SAD
+ * accumulation semantics, included by every per-ISA translation unit:
+ * the scalar table uses them as its kernels, and the vector tables
+ * use them for sub-vector tails. Keeping a single copy means a
+ * future change to the encoding or accumulation order cannot
+ * silently diverge between the scalar baseline and a tail path —
+ * the exact breakage the bit-identity contract guards against.
+ *
+ * All operations are exact (integer, predicate, or IEEE add/sub/abs
+ * with no fusable multiply-adds), so compiling these inline functions
+ * under different target flags cannot change their results.
+ */
+
+#ifndef ASV_COMMON_SIMD_REFERENCE_HH
+#define ASV_COMMON_SIMD_REFERENCE_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace asv::simd::detail
+{
+
+/** Census bit-pack of pixels [x0, x1); see CensusRowFn. */
+inline void
+censusRowRef(const float *const *rows, int radius, int x0, int x1,
+             uint64_t *out)
+{
+    const float *center = rows[radius];
+    const int taps = 2 * radius + 1;
+    for (int x = x0; x < x1; ++x) {
+        const float c = center[x];
+        uint64_t bits = 0;
+        for (int t = 0; t < taps; ++t) {
+            const float *row = rows[t];
+            for (int dx = -radius; dx <= radius; ++dx) {
+                if (t == radius && dx == 0)
+                    continue;
+                bits = (bits << 1) | (row[x + dx] < c ? 1u : 0u);
+            }
+        }
+        out[x] = bits;
+    }
+}
+
+/** out[i] = popcount(a[i] ^ b[i]); see HammingRowFn. */
+inline void
+hammingRowRef(const uint64_t *a, const uint64_t *b, int n,
+              uint16_t *out)
+{
+    for (int i = 0; i < n; ++i)
+        out[i] = static_cast<uint16_t>(std::popcount(a[i] ^ b[i]));
+}
+
+/**
+ * SAD of candidates [j0, j0 + count) of a span; see SadSpanFn. The
+ * vector tables call this with j0 > 0 for the sub-vector tail.
+ */
+inline void
+sadSpanRef(const float *const *lrows, const float *const *rrows,
+           int radius, int x, int d0, int j0, int count, double *cost)
+{
+    const int taps = 2 * radius + 1;
+    for (int j = j0; j < j0 + count; ++j) {
+        const int d = d0 + j;
+        double s = 0.0;
+        for (int t = 0; t < taps; ++t) {
+            const float *l = lrows[t];
+            const float *r = rrows[t];
+            for (int dx = -radius; dx <= radius; ++dx)
+                s += std::abs(double(l[x + dx]) - r[x + dx - d]);
+        }
+        cost[j] = s;
+    }
+}
+
+} // namespace asv::simd::detail
+
+#endif // ASV_COMMON_SIMD_REFERENCE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Portable scalar table of the SIMD kernel layer — the bit-identity
+ * baseline every vector backend must reproduce exactly. The loop
+ * bodies live in simd_reference.hh (shared with the vector tables'
+ * sub-vector tails). Compiled with the baseline target flags only —
+ * std::popcount lowers to the bit-twiddling fallback here, which is
+ * precisely the gap the SSE4.2/AVX2 tables close.
+ */
+
+#include "common/simd.hh"
+#include "common/simd_reference.hh"
+
+namespace asv::simd::detail
+{
+
+namespace
+{
+
+void
+censusRowScalar(const float *const *rows, int radius, int x0, int x1,
+                uint64_t *out)
+{
+    censusRowRef(rows, radius, x0, x1, out);
+}
+
+void
+hammingRowScalar(const uint64_t *a, const uint64_t *b, int n,
+                 uint16_t *out)
+{
+    hammingRowRef(a, b, n, out);
+}
+
+void
+sadSpanScalar(const float *const *lrows, const float *const *rrows,
+              int radius, int x, int d0, int n, double *cost)
+{
+    sadSpanRef(lrows, rrows, radius, x, d0, 0, n, cost);
+}
+
+constexpr Kernels kScalarKernels = {
+    "scalar", Level::Scalar, censusRowScalar, hammingRowScalar,
+    sadSpanScalar,
+};
+
+} // namespace
+
+const Kernels *
+scalarKernels()
+{
+    return &kScalarKernels;
+}
+
+} // namespace asv::simd::detail

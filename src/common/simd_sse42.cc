@@ -1,0 +1,141 @@
+/**
+ * @file
+ * SSE4.2 kernel table: 4-wide census bit-packing, hardware-POPCNT
+ * Hamming rows, and 2-lane double SAD spans.
+ *
+ * Compiled with -msse4.2 -mpopcnt (see CMakeLists); the whole file
+ * degrades to a nullptr getter when those flags are unavailable so
+ * the dispatch layer never sees a table it cannot execute.
+ */
+
+#include "common/simd.hh"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include "common/simd_reference.hh"
+
+namespace asv::simd::detail
+{
+
+namespace
+{
+
+void
+censusRowSse42(const float *const *rows, int radius, int x0, int x1,
+               uint64_t *out)
+{
+    const float *center = rows[radius];
+    const int taps = 2 * radius + 1;
+    int x = x0;
+    // 4 pixels per iteration: two 2x64-bit accumulators collect one
+    // comparison bit per tap, MSB-first — the scalar encoding.
+    for (; x + 4 <= x1; x += 4) {
+        const __m128 c = _mm_loadu_ps(center + x);
+        __m128i lo = _mm_setzero_si128(); // pixels x, x+1
+        __m128i hi = _mm_setzero_si128(); // pixels x+2, x+3
+        for (int t = 0; t < taps; ++t) {
+            const float *row = rows[t];
+            for (int dx = -radius; dx <= radius; ++dx) {
+                if (t == radius && dx == 0)
+                    continue;
+                const __m128 nb = _mm_loadu_ps(row + x + dx);
+                const __m128i m =
+                    _mm_castps_si128(_mm_cmplt_ps(nb, c));
+                const __m128i mlo = _mm_cvtepi32_epi64(m);
+                const __m128i mhi =
+                    _mm_cvtepi32_epi64(_mm_srli_si128(m, 8));
+                lo = _mm_or_si128(_mm_slli_epi64(lo, 1),
+                                  _mm_srli_epi64(mlo, 63));
+                hi = _mm_or_si128(_mm_slli_epi64(hi, 1),
+                                  _mm_srli_epi64(mhi, 63));
+            }
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + x), lo);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + x + 2),
+                         hi);
+    }
+    // Sub-vector tail: the shared scalar reference loop.
+    censusRowRef(rows, radius, x, x1, out);
+}
+
+void
+hammingRowSse42(const uint64_t *a, const uint64_t *b, int n,
+                uint16_t *out)
+{
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        out[i] = static_cast<uint16_t>(_mm_popcnt_u64(a[i] ^ b[i]));
+        out[i + 1] =
+            static_cast<uint16_t>(_mm_popcnt_u64(a[i + 1] ^ b[i + 1]));
+        out[i + 2] =
+            static_cast<uint16_t>(_mm_popcnt_u64(a[i + 2] ^ b[i + 2]));
+        out[i + 3] =
+            static_cast<uint16_t>(_mm_popcnt_u64(a[i + 3] ^ b[i + 3]));
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<uint16_t>(_mm_popcnt_u64(a[i] ^ b[i]));
+}
+
+void
+sadSpanSse42(const float *const *lrows, const float *const *rrows,
+             int radius, int x, int d0, int n, double *cost)
+{
+    const int taps = 2 * radius + 1;
+    const __m128d sign = _mm_set1_pd(-0.0);
+    int j = 0;
+    // Two candidates per 128-bit double lane pair. Lane k holds
+    // candidate d0+j+k; for a fixed tap the right-image addresses
+    // decrease with the candidate, so load ascending and reverse.
+    for (; j + 2 <= n; j += 2) {
+        const int d = d0 + j;
+        __m128d acc = _mm_setzero_pd();
+        for (int t = 0; t < taps; ++t) {
+            const float *l = lrows[t];
+            const float *r = rrows[t];
+            for (int dx = -radius; dx <= radius; ++dx) {
+                const __m128d lv = _mm_set1_pd(double(l[x + dx]));
+                const float *rp = r + x + dx - d - 1;
+                __m128 rf = _mm_castsi128_ps(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(rp)));
+                rf = _mm_shuffle_ps(rf, rf, _MM_SHUFFLE(3, 2, 0, 1));
+                const __m128d rv = _mm_cvtps_pd(rf);
+                const __m128d diff = _mm_sub_pd(lv, rv);
+                acc = _mm_add_pd(acc, _mm_andnot_pd(sign, diff));
+            }
+        }
+        _mm_storeu_pd(cost + j, acc);
+    }
+    sadSpanRef(lrows, rrows, radius, x, d0, j, n - j, cost);
+}
+
+constexpr Kernels kSse42Kernels = {
+    "sse42", Level::Sse42, censusRowSse42, hammingRowSse42,
+    sadSpanSse42,
+};
+
+} // namespace
+
+const Kernels *
+sse42Kernels()
+{
+    return &kSse42Kernels;
+}
+
+} // namespace asv::simd::detail
+
+#else // !x86 or no -msse4.2
+
+namespace asv::simd::detail
+{
+
+const Kernels *
+sse42Kernels()
+{
+    return nullptr;
+}
+
+} // namespace asv::simd::detail
+
+#endif

@@ -186,39 +186,43 @@ updateFlow(const PolyExpansion &p1, const PolyExpansion &p2,
 
     image::Image g11(w, h), g12(w, h), g22(w, h), h1(w, h), h2(w, h);
 
-    // Matrix update: build the per-pixel normal equations.
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            const float du = flow.u.at(x, y);
-            const float dv = flow.v.at(x, y);
-            const float xs = clamp(float(x) + du, 0.f, float(w - 1));
-            const float ys = clamp(float(y) + dv, 0.f, float(h - 1));
+    // Matrix update: build the per-pixel normal equations. Rows are
+    // independent (each writes disjoint slices of g/h), so they fan
+    // out on the context's pool bit-identically.
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < w; ++x) {
+                const float du = flow.u.at(x, y);
+                const float dv = flow.v.at(x, y);
+                const float xs = clamp(float(x) + du, 0.f, float(w - 1));
+                const float ys = clamp(float(y) + dv, 0.f, float(h - 1));
 
-            // A = (A1(x) + A2(x+d)) / 2, with A =
-            // [[axx, axy/2], [axy/2, ayy]].
-            const double a11 =
-                0.5 * (p1.axx.at(x, y) + p2.axx.sample(xs, ys));
-            const double a22 =
-                0.5 * (p1.ayy.at(x, y) + p2.ayy.sample(xs, ys));
-            const double a12 =
-                0.25 * (p1.axy.at(x, y) + p2.axy.sample(xs, ys));
+                // A = (A1(x) + A2(x+d)) / 2, with A =
+                // [[axx, axy/2], [axy/2, ayy]].
+                const double a11 =
+                    0.5 * (p1.axx.at(x, y) + p2.axx.sample(xs, ys));
+                const double a22 =
+                    0.5 * (p1.ayy.at(x, y) + p2.ayy.sample(xs, ys));
+                const double a12 =
+                    0.25 * (p1.axy.at(x, y) + p2.axy.sample(xs, ys));
 
-            // db = -(1/2)(b2(x+d) - b1(x)) + A d.
-            const double db1 =
-                -0.5 * (p2.bx.sample(xs, ys) - p1.bx.at(x, y)) +
-                a11 * du + a12 * dv;
-            const double db2 =
-                -0.5 * (p2.by.sample(xs, ys) - p1.by.at(x, y)) +
-                a12 * du + a22 * dv;
+                // db = -(1/2)(b2(x+d) - b1(x)) + A d.
+                const double db1 =
+                    -0.5 * (p2.bx.sample(xs, ys) - p1.bx.at(x, y)) +
+                    a11 * du + a12 * dv;
+                const double db2 =
+                    -0.5 * (p2.by.sample(xs, ys) - p1.by.at(x, y)) +
+                    a12 * du + a22 * dv;
 
-            // Accumulate G = A^T A and h = A^T db.
-            g11.at(x, y) = float(a11 * a11 + a12 * a12);
-            g12.at(x, y) = float(a12 * (a11 + a22));
-            g22.at(x, y) = float(a22 * a22 + a12 * a12);
-            h1.at(x, y) = float(a11 * db1 + a12 * db2);
-            h2.at(x, y) = float(a12 * db1 + a22 * db2);
+                // Accumulate G = A^T A and h = A^T db.
+                g11.at(x, y) = float(a11 * a11 + a12 * a12);
+                g12.at(x, y) = float(a12 * (a11 + a22));
+                g22.at(x, y) = float(a22 * a22 + a12 * a12);
+                h1.at(x, y) = float(a11 * db1 + a12 * db2);
+                h2.at(x, y) = float(a12 * db1 + a22 * db2);
+            }
         }
-    }
+    });
 
     // Gaussian aggregation of the normal equations.
     g11 = image::gaussianBlur(g11, blur_radius, -1.0, ctx);
@@ -227,19 +231,21 @@ updateFlow(const PolyExpansion &p1, const PolyExpansion &p2,
     h1 = image::gaussianBlur(h1, blur_radius, -1.0, ctx);
     h2 = image::gaussianBlur(h2, blur_radius, -1.0, ctx);
 
-    // Compute flow: per-pixel 2x2 solve.
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            const double a = g11.at(x, y), b = g12.at(x, y);
-            const double c = g22.at(x, y);
-            const double det = a * c - b * b;
-            if (std::abs(det) < 1e-9)
-                continue; // textureless region: keep previous flow
-            const double r1 = h1.at(x, y), r2 = h2.at(x, y);
-            flow.u.at(x, y) = float((c * r1 - b * r2) / det);
-            flow.v.at(x, y) = float((a * r2 - b * r1) / det);
+    // Compute flow: per-pixel 2x2 solve, row-parallel.
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int x = 0; x < w; ++x) {
+                const double a = g11.at(x, y), b = g12.at(x, y);
+                const double c = g22.at(x, y);
+                const double det = a * c - b * b;
+                if (std::abs(det) < 1e-9)
+                    continue; // textureless region: keep previous flow
+                const double r1 = h1.at(x, y), r2 = h2.at(x, y);
+                flow.u.at(x, y) = float((c * r1 - b * r2) / det);
+                flow.v.at(x, y) = float((a * r2 - b * r1) / det);
+            }
         }
-    }
+    });
 }
 
 } // namespace

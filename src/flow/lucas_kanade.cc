@@ -164,40 +164,57 @@ void
 trackLucasKanade(const image::Image &frame0,
                  const image::Image &frame1,
                  std::vector<TrackedPoint> &points,
-                 const LucasKanadeParams &params)
+                 const LucasKanadeParams &params,
+                 const ExecContext &ctx)
 {
     panic_if(frame0.width() != frame1.width() ||
                  frame0.height() != frame1.height(),
              "frame size mismatch");
     const auto pyr0 =
-        image::buildPyramid(frame0, params.pyramidLevels);
+        image::buildPyramid(frame0, params.pyramidLevels, 16, ctx);
     const auto pyr1 =
-        image::buildPyramid(frame1, params.pyramidLevels);
+        image::buildPyramid(frame1, params.pyramidLevels, 16, ctx);
     const int levels = int(pyr0.size());
 
-    for (TrackedPoint &p : points) {
-        float u = 0.f, v = 0.f;
-        bool ok = true;
-        for (int level = levels - 1; level >= 0; --level) {
-            const float scale = 1.f / float(1 << level);
-            u *= 2.f;
-            v *= 2.f;
-            if (level == levels - 1) {
-                u = v = 0.f;
+    // Tracks are independent (each writes only its own entry), so
+    // points fan out across the pool.
+    ctx.parallelFor(0, int64_t(points.size()), [&](int64_t i0,
+                                                   int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            TrackedPoint &p = points[i];
+            float u = 0.f, v = 0.f;
+            bool ok = true;
+            for (int level = levels - 1; level >= 0; --level) {
+                const float scale = 1.f / float(1 << level);
+                u *= 2.f;
+                v *= 2.f;
+                if (level == levels - 1) {
+                    u = v = 0.f;
+                }
+                ok = trackAtLevel(pyr0[level], pyr1[level],
+                                  p.x * scale, p.y * scale, u, v,
+                                  params);
+                if (!ok)
+                    break;
             }
-            ok = trackAtLevel(pyr0[level], pyr1[level],
-                              p.x * scale, p.y * scale, u, v,
-                              params);
-            if (!ok)
-                break;
+            p.valid = ok && std::abs(u) < frame0.width() &&
+                      std::abs(v) < frame0.height();
+            if (p.valid) {
+                p.u = u;
+                p.v = v;
+            }
         }
-        p.valid = ok && std::abs(u) < frame0.width() &&
-                  std::abs(v) < frame0.height();
-        if (p.valid) {
-            p.u = u;
-            p.v = v;
-        }
-    }
+    });
+}
+
+void
+trackLucasKanade(const image::Image &frame0,
+                 const image::Image &frame1,
+                 std::vector<TrackedPoint> &points,
+                 const LucasKanadeParams &params)
+{
+    trackLucasKanade(frame0, frame1, points, params,
+                     ExecContext::global());
 }
 
 FlowField

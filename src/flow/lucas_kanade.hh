@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_context.hh"
 #include "flow/flow_field.hh"
 #include "image/image.hh"
 
@@ -58,8 +59,18 @@ std::vector<TrackedPoint> detectCorners(
 
 /**
  * Track @p points from @p frame0 to @p frame1 with pyramidal
- * Lucas-Kanade; updates (u, v, valid) in place.
+ * Lucas-Kanade; updates (u, v, valid) in place. Pyramid construction
+ * and the per-point tracking loop fan out on @p ctx's pool (points
+ * are independent; static partitioning keeps results bit-identical
+ * for any worker count).
  */
+void trackLucasKanade(const image::Image &frame0,
+                      const image::Image &frame1,
+                      std::vector<TrackedPoint> &points,
+                      const LucasKanadeParams &params,
+                      const ExecContext &ctx);
+
+/** trackLucasKanade() on the process-global pool (legacy signature). */
 void trackLucasKanade(const image::Image &frame0,
                       const image::Image &frame1,
                       std::vector<TrackedPoint> &points,

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "common/simd.hh"
 #include "common/thread_pool.hh"
 
 namespace asv::stereo
@@ -31,6 +32,71 @@ blockSad(const image::Image &left, const image::Image &right, int x,
 }
 
 /**
+ * Per-row state for the SAD search: the y-clamped row base pointers
+ * both images share for a given center row, plus the dispatched
+ * kernel table. Built once per row by the row-parallel drivers.
+ */
+struct SadRowContext
+{
+    std::vector<const float *> lrows, rrows;
+    const simd::Kernels *kernels;
+
+    SadRowContext(int radius, const simd::Kernels &k)
+        : lrows(2 * radius + 1), rrows(2 * radius + 1), kernels(&k)
+    {
+    }
+
+    void
+    setRow(const image::Image &left, const image::Image &right,
+           int radius, int y)
+    {
+        const int h = left.height();
+        const int w = left.width();
+        for (int dy = -radius; dy <= radius; ++dy) {
+            const int64_t row = int64_t(clamp(y + dy, 0, h - 1)) * w;
+            lrows[dy + radius] = left.data() + row;
+            rrows[dy + radius] = right.data() + row;
+        }
+    }
+};
+
+/**
+ * Fill costs[d - d_lo] = SAD(x, y, d) for d in [d_lo, d_hi]. The
+ * candidate sub-range whose every tap is in bounds goes through the
+ * dispatched SIMD span kernel (one disparity per vector lane, the
+ * exact scalar accumulation order, so bit-identical); candidates
+ * that touch a clamped border fall back to the scalar clamped SAD.
+ */
+void
+sadCosts(const image::Image &left, const image::Image &right, int x,
+         int y, int d_lo, int d_hi, int radius,
+         const SadRowContext &rows, std::vector<double> &costs)
+{
+    const int w = left.width();
+    // Left block interior: x +/- radius in bounds. Right block
+    // interior for candidate d: x - d - radius >= 0 and
+    // x - d + radius < w.
+    int d_safe_lo = d_lo, d_safe_hi = d_hi;
+    if (x - radius < 0 || x + radius >= w) {
+        d_safe_lo = 1;
+        d_safe_hi = 0;
+    } else {
+        d_safe_lo = std::max(d_safe_lo, x + radius - (w - 1));
+        d_safe_hi = std::min(d_safe_hi, x - radius);
+    }
+    for (int d = d_lo; d <= d_hi; ++d) {
+        if (d < d_safe_lo || d > d_safe_hi)
+            costs[d - d_lo] = blockSad(left, right, x, y, d, radius);
+    }
+    if (d_safe_lo <= d_safe_hi) {
+        rows.kernels->sadSpan(rows.lrows.data(), rows.rrows.data(),
+                              radius, x, d_safe_lo,
+                              d_safe_hi - d_safe_lo + 1,
+                              costs.data() + (d_safe_lo - d_lo));
+    }
+}
+
+/**
  * Parabolic sub-pixel refinement from costs at d-1, d, d+1. Returns
  * the offset in (-0.5, 0.5) to add to the integer disparity.
  */
@@ -52,16 +118,17 @@ subpixelOffset(double cm, double c0, double cp)
 float
 matchPixel(const image::Image &left, const image::Image &right, int x,
            int y, int d_lo, int d_hi,
-           const BlockMatchingParams &params)
+           const BlockMatchingParams &params,
+           const SadRowContext &rows, std::vector<double> &costs)
 {
+    costs.resize(d_hi - d_lo + 1);
+    sadCosts(left, right, x, y, d_lo, d_hi, params.blockRadius, rows,
+             costs);
+
     double best_cost = std::numeric_limits<double>::max();
     int best_d = -1;
-    std::vector<double> costs(d_hi - d_lo + 1);
-
     for (int d = d_lo; d <= d_hi; ++d) {
-        const double c =
-            blockSad(left, right, x, y, d, params.blockRadius);
-        costs[d - d_lo] = c;
+        const double c = costs[d - d_lo];
         if (c < best_cost) {
             best_cost = c;
             best_d = d;
@@ -116,13 +183,17 @@ blockMatching(const image::Image &left, const image::Image &right,
     fatal_if(params.maxDisparity < 1, "maxDisparity must be >= 1");
 
     DisparityMap disp(left.width(), left.height());
+    const simd::Kernels &kernels = simd::kernels();
     // Pixels are independent; partition the SAD search by row.
     ctx.parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
+        SadRowContext rows(params.blockRadius, kernels);
+        std::vector<double> costs;
         for (int y = int(y0); y < int(y1); ++y) {
+            rows.setRow(left, right, params.blockRadius, y);
             for (int x = 0; x < left.width(); ++x) {
                 const int d_hi = std::min(params.maxDisparity, x);
-                disp.at(x, y) =
-                    matchPixel(left, right, x, y, 0, d_hi, params);
+                disp.at(x, y) = matchPixel(left, right, x, y, 0,
+                                           d_hi, params, rows, costs);
             }
         }
     });
@@ -151,8 +222,12 @@ refineDisparity(const image::Image &left, const image::Image &right,
     fatal_if(radius < 0, "negative refinement radius");
 
     DisparityMap disp(left.width(), left.height());
+    const simd::Kernels &kernels = simd::kernels();
     ctx.parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
+        SadRowContext rows(params.blockRadius, kernels);
+        std::vector<double> costs;
         for (int y = int(y0); y < int(y1); ++y) {
+            rows.setRow(left, right, params.blockRadius, y);
             for (int x = 0; x < left.width(); ++x) {
                 const float d0 = init.at(x, y);
                 int d_lo, d_hi;
@@ -168,8 +243,8 @@ refineDisparity(const image::Image &left, const image::Image &right,
                     d_lo = 0;
                     d_hi = std::min(params.maxDisparity, x);
                 }
-                disp.at(x, y) =
-                    matchPixel(left, right, x, y, d_lo, d_hi, params);
+                disp.at(x, y) = matchPixel(left, right, x, y, d_lo,
+                                           d_hi, params, rows, costs);
             }
         }
     });

@@ -11,8 +11,11 @@
  * organizes the field as interchangeable matcher families). Matcher
  * is that seam: every engine is a `compute(left, right, ctx)` behind
  * a name, pipelines hold a `shared_ptr<const Matcher>` instead of a
- * raw callback, and new backends (SIMD census, wavefront SGM, batched
- * serving) plug in by registering a factory.
+ * raw callback, and new backends (batched serving, remote engines)
+ * plug in by registering a factory. The BM/SGM/guided engines run on
+ * the dispatched asv::simd kernel layer internally, so every
+ * registry engine is bit-identical across ASV_SIMD levels
+ * (tests/simd_test.cpp asserts this through this interface).
  *
  * Thread-safety contract: compute()/computeGuided() are const and
  * must tolerate concurrent invocation from multiple threads —

@@ -4,9 +4,11 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "common/simd.hh"
 #include "common/thread_pool.hh"
 
 namespace asv::stereo
@@ -15,79 +17,164 @@ namespace asv::stereo
 namespace
 {
 
-/** Flat cost volume indexing: v[(y * w + x) * nd + d]. */
-struct VolumeView
+/**
+ * One step of the semi-global recurrence at a pixel with a valid
+ * predecessor:
+ *
+ *   cur[d] = cost(d) + min(prev[d], prev[d±1]+P1, min(prev)+P2)
+ *            - min(prev)
+ *
+ * The cost/total slices of a pixel are strided by the image width in
+ * the disparity-major layout; prev/cur are dense per-path scratch.
+ * All arithmetic is exact integer, so the result is independent of
+ * how paths are scheduled across threads.
+ */
+inline void
+aggregateStep(const uint16_t *cost_px, uint32_t *total_px,
+              int64_t stride, int nd, int p1, int p2,
+              const uint16_t *prev, uint16_t *cur)
 {
-    int width, height, nd;
-
-    int64_t
-    idx(int x, int y, int d) const
-    {
-        return (int64_t(y) * width + x) * nd + d;
+    const uint16_t prev_min = *std::min_element(prev, prev + nd);
+    for (int d = 0; d < nd; ++d) {
+        uint32_t best = prev[d];
+        if (d > 0)
+            best = std::min<uint32_t>(best, prev[d - 1] + p1);
+        if (d + 1 < nd)
+            best = std::min<uint32_t>(best, prev[d + 1] + p1);
+        best = std::min<uint32_t>(best, uint32_t(prev_min) + p2);
+        best -= prev_min;
+        const uint32_t v = cost_px[int64_t(d) * stride] + best;
+        cur[d] = static_cast<uint16_t>(std::min<uint32_t>(v, 0xFFFF));
+        total_px[int64_t(d) * stride] += cur[d];
     }
+}
 
-    int64_t size() const { return int64_t(width) * height * nd; }
-};
+/** Path-start step (no predecessor): L_r is the raw matching cost. */
+inline void
+startStep(const uint16_t *cost_px, uint32_t *total_px, int64_t stride,
+          int nd, uint16_t *cur)
+{
+    for (int d = 0; d < nd; ++d) {
+        cur[d] = cost_px[int64_t(d) * stride];
+        total_px[int64_t(d) * stride] += cur[d];
+    }
+}
 
 /**
- * One semi-global aggregation pass along direction (dx, dy), adding
- * L_r into @p total. Pixels are visited so that (x-dx, y-dy) is
- * always processed before (x, y).
+ * Horizontal pass (dy == 0): every row is an independent 1-D path,
+ * so rows fan out directly and each needs only 2*nd scratch.
  */
 void
-aggregateDirection(const std::vector<uint16_t> &cost,
-                   const VolumeView &vol, int dx, int dy, int p1,
-                   int p2, std::vector<uint32_t> &total)
+aggregateHorizontal(const CostVolume &vol, int dx, int p1, int p2,
+                    std::vector<uint32_t> &total,
+                    const ExecContext &ctx)
 {
-    const int w = vol.width, h = vol.height, nd = vol.nd;
-    std::vector<uint16_t> lr(vol.size());
-
-    const int y_begin = dy >= 0 ? 0 : h - 1;
-    const int y_end = dy >= 0 ? h : -1;
-    const int y_step = dy >= 0 ? 1 : -1;
-    // For dy == 0 the scan order along x must follow dx.
-    const int x_begin = dx >= 0 ? 0 : w - 1;
-    const int x_end = dx >= 0 ? w : -1;
-    const int x_step = dx >= 0 ? 1 : -1;
-
-    for (int y = y_begin; y != y_end; y += y_step) {
-        for (int x = x_begin; x != x_end; x += x_step) {
-            const int px = x - dx, py = y - dy;
-            const bool has_prev =
-                px >= 0 && px < w && py >= 0 && py < h;
-
-            uint16_t prev_min = 0;
-            const uint16_t *prev = nullptr;
-            if (has_prev) {
-                prev = &lr[vol.idx(px, py, 0)];
-                prev_min = *std::min_element(prev, prev + nd);
-            }
-
-            uint16_t *cur = &lr[vol.idx(x, y, 0)];
-            const uint16_t *c = &cost[vol.idx(x, y, 0)];
-            for (int d = 0; d < nd; ++d) {
-                uint32_t best;
-                if (!has_prev) {
-                    best = 0;
-                } else {
-                    best = prev[d];
-                    if (d > 0)
-                        best = std::min<uint32_t>(best,
-                                                  prev[d - 1] + p1);
-                    if (d + 1 < nd)
-                        best = std::min<uint32_t>(best,
-                                                  prev[d + 1] + p1);
-                    best = std::min<uint32_t>(best,
-                                              uint32_t(prev_min) + p2);
-                    best -= prev_min;
-                }
-                const uint32_t v = c[d] + best;
-                cur[d] = static_cast<uint16_t>(
-                    std::min<uint32_t>(v, 0xFFFF));
-                total[vol.idx(x, y, d)] += cur[d];
+    const int w = vol.width, nd = vol.nd;
+    ctx.parallelFor(0, vol.height, [&](int64_t y0, int64_t y1) {
+        std::vector<uint16_t> prev(nd), cur(nd);
+        for (int y = int(y0); y < int(y1); ++y) {
+            const uint16_t *crow = vol.row(y, 0);
+            uint32_t *trow = total.data() + vol.idx(0, y, 0);
+            int x = dx > 0 ? 0 : w - 1;
+            startStep(crow + x, trow + x, w, nd, cur.data());
+            std::swap(prev, cur);
+            for (int i = 1; i < w; ++i) {
+                x += dx;
+                aggregateStep(crow + x, trow + x, w, nd, p1, p2,
+                              prev.data(), cur.data());
+                std::swap(prev, cur);
             }
         }
+    });
+}
+
+/**
+ * Vertical pass (dx == 0): columns are independent paths with a pure
+ * (x, y-dy) -> (x, y) dependency, so contiguous column strips run in
+ * parallel, each sweeping its rows in order with one strip-wide
+ * previous-row buffer ([xi * nd + d] layout).
+ */
+void
+aggregateVertical(const CostVolume &vol, int dy, int p1, int p2,
+                  std::vector<uint32_t> &total, const ExecContext &ctx)
+{
+    const int w = vol.width, h = vol.height, nd = vol.nd;
+    ctx.parallelFor(0, w, [&](int64_t x0, int64_t x1) {
+        const int nx = int(x1 - x0);
+        std::vector<uint16_t> prev(int64_t(nx) * nd);
+        std::vector<uint16_t> cur(int64_t(nx) * nd);
+        const int y_begin = dy > 0 ? 0 : h - 1;
+        for (int i = 0; i < h; ++i) {
+            const int y = y_begin + i * dy;
+            const uint16_t *crow = vol.row(y, 0);
+            uint32_t *trow = total.data() + vol.idx(0, y, 0);
+            for (int x = int(x0); x < int(x1); ++x) {
+                uint16_t *c = cur.data() + int64_t(x - x0) * nd;
+                if (i == 0) {
+                    startStep(crow + x, trow + x, w, nd, c);
+                } else {
+                    const uint16_t *p =
+                        prev.data() + int64_t(x - x0) * nd;
+                    aggregateStep(crow + x, trow + x, w, nd, p1, p2,
+                                  p, c);
+                }
+            }
+            std::swap(prev, cur);
+        }
+    });
+}
+
+/**
+ * Diagonal pass (|dx| == |dy| == 1): the predecessor of every pixel
+ * in row y lies in row y - dy, so each row is a wavefront — rows
+ * advance serially while the pixels of a row fan out across the
+ * pool. Two pixel-major row buffers ([x * nd + d]) carry L_r between
+ * wavefronts.
+ */
+void
+aggregateDiagonal(const CostVolume &vol, int dx, int dy, int p1,
+                  int p2, std::vector<uint32_t> &total,
+                  const ExecContext &ctx)
+{
+    const int w = vol.width, h = vol.height, nd = vol.nd;
+    std::vector<uint16_t> prev_row(int64_t(w) * nd);
+    std::vector<uint16_t> cur_row(int64_t(w) * nd);
+    const int y_begin = dy > 0 ? 0 : h - 1;
+    for (int i = 0; i < h; ++i) {
+        const int y = y_begin + i * dy;
+        const uint16_t *crow = vol.row(y, 0);
+        uint32_t *trow = total.data() + vol.idx(0, y, 0);
+        const bool first_row = i == 0;
+        ctx.parallelFor(0, w, [&](int64_t x0, int64_t x1) {
+            for (int x = int(x0); x < int(x1); ++x) {
+                uint16_t *c = cur_row.data() + int64_t(x) * nd;
+                const int px = x - dx;
+                if (first_row || px < 0 || px >= w) {
+                    startStep(crow + x, trow + x, w, nd, c);
+                } else {
+                    const uint16_t *p =
+                        prev_row.data() + int64_t(px) * nd;
+                    aggregateStep(crow + x, trow + x, w, nd, p1, p2,
+                                  p, c);
+                }
+            }
+        });
+        std::swap(prev_row, cur_row);
     }
+}
+
+/** One semi-global aggregation pass along direction (dx, dy). */
+void
+aggregateDirection(const CostVolume &vol, int dx, int dy, int p1,
+                   int p2, std::vector<uint32_t> &total,
+                   const ExecContext &ctx)
+{
+    if (dy == 0)
+        aggregateHorizontal(vol, dx, p1, p2, total, ctx);
+    else if (dx == 0)
+        aggregateVertical(vol, dy, p1, p2, total, ctx);
+    else
+        aggregateDiagonal(vol, dx, dy, p1, p2, total, ctx);
 }
 
 float
@@ -109,11 +196,24 @@ censusTransform(const image::Image &img, int radius,
 {
     fatal_if(radius < 1 || radius > 3,
              "census radius must be in [1, 3] (bits must fit uint64)");
-    std::vector<uint64_t> census(int64_t(img.width()) * img.height());
+    const int w = img.width(), h = img.height();
+    std::vector<uint64_t> census(int64_t(w) * h);
+    const simd::Kernels &k = simd::kernels();
+    // The dispatched kernel covers [radius, w - radius); the clamped
+    // borders run the same scalar code at every SIMD level.
+    const int x_lo = std::min(radius, w);
+    const int x_hi = std::max(x_lo, w - radius);
     // Rows are independent; each writes a disjoint slice of census.
-    ctx.parallelFor(0, img.height(), [&](int64_t y0, int64_t y1) {
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        std::vector<const float *> rows(2 * radius + 1);
         for (int y = int(y0); y < int(y1); ++y) {
-            for (int x = 0; x < img.width(); ++x) {
+            for (int dy = -radius; dy <= radius; ++dy) {
+                rows[dy + radius] =
+                    img.data() +
+                    int64_t(clamp(y + dy, 0, h - 1)) * w;
+            }
+            uint64_t *out = census.data() + int64_t(y) * w;
+            auto borderPixel = [&](int x) {
                 const float center = img.at(x, y);
                 uint64_t bits = 0;
                 for (int dy = -radius; dy <= radius; ++dy) {
@@ -126,8 +226,14 @@ censusTransform(const image::Image &img, int radius,
                                     : 0u);
                     }
                 }
-                census[int64_t(y) * img.width() + x] = bits;
-            }
+                out[x] = bits;
+            };
+            for (int x = 0; x < x_lo; ++x)
+                borderPixel(x);
+            if (x_hi > x_lo)
+                k.censusRow(rows.data(), radius, x_lo, x_hi, out);
+            for (int x = x_hi; x < w; ++x)
+                borderPixel(x);
         }
     });
     return census;
@@ -137,6 +243,45 @@ std::vector<uint64_t>
 censusTransform(const image::Image &img, int radius)
 {
     return censusTransform(img, radius, ExecContext::global());
+}
+
+CostVolume
+sgmCostVolume(const image::Image &left, const image::Image &right,
+              const SgmParams &params, const ExecContext &ctx)
+{
+    panic_if(left.width() != right.width() ||
+                 left.height() != right.height(),
+             "stereo pair size mismatch");
+    const int w = left.width(), h = left.height();
+    const int nd = params.maxDisparity + 1;
+
+    const auto cl = censusTransform(left, params.censusRadius, ctx);
+    const auto cr = censusTransform(right, params.censusRadius, ctx);
+
+    CostVolume vol;
+    vol.width = w;
+    vol.height = h;
+    vol.nd = nd;
+    vol.cost.resize(vol.size());
+    const simd::Kernels &k = simd::kernels();
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            const uint64_t *l = cl.data() + int64_t(y) * w;
+            const uint64_t *r = cr.data() + int64_t(y) * w;
+            for (int d = 0; d < nd; ++d) {
+                uint16_t *out = vol.row(y, d);
+                // x < d clamps the right coordinate to column 0.
+                const int p = std::min(d, w);
+                for (int x = 0; x < p; ++x) {
+                    out[x] = static_cast<uint16_t>(
+                        std::popcount(l[x] ^ r[0]));
+                }
+                if (w > d)
+                    k.hammingRow(l + d, r, w - d, out + d);
+            }
+        }
+    });
+    return vol;
 }
 
 int64_t
@@ -162,80 +307,53 @@ sgmCompute(const image::Image &left, const image::Image &right,
              "stereo pair size mismatch");
     const int w = left.width(), h = left.height();
     const int nd = params.maxDisparity + 1;
-    const VolumeView vol{w, h, nd};
 
-    // 1. Census + Hamming cost volume.
-    const auto cl = censusTransform(left, params.censusRadius, ctx);
-    const auto cr = censusTransform(right, params.censusRadius, ctx);
-    std::vector<uint16_t> cost(vol.size());
-    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
-        for (int y = int(y0); y < int(y1); ++y) {
-            for (int x = 0; x < w; ++x) {
-                for (int d = 0; d < nd; ++d) {
-                    const int xr = std::max(0, x - d);
-                    const uint64_t diff = cl[int64_t(y) * w + x] ^
-                                          cr[int64_t(y) * w + xr];
-                    cost[vol.idx(x, y, d)] =
-                        static_cast<uint16_t>(std::popcount(diff));
-                }
-            }
-        }
-    });
+    // 1. Census + Hamming cost volume (disparity-major rows).
+    const CostVolume vol = sgmCostVolume(left, right, params, ctx);
 
-    // 2. Eight-path aggregation. Each path is a sequential scan, but
-    // the paths are independent: aggregate into per-chunk partial
-    // volumes in parallel, then reduce. uint32 addition is exact, so
-    // the result is bit-identical to the serial loop for any worker
-    // count (at the cost of one partial volume per busy chunk).
+    // 2. Eight-path aggregation. Each pass parallelizes internally
+    // (rows / column strips / diagonal row wavefronts); passes run in
+    // sequence, each cell of `total` is incremented exactly once per
+    // pass, and all arithmetic is exact integer, so the sum is
+    // bit-identical to the serial loop for any worker count.
     std::vector<uint32_t> total(vol.size(), 0);
     const int dirs[8][2] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
                             {1, 1},  {-1, 1}, {1, -1}, {-1, -1}};
-    ThreadPool &pool = ctx.pool();
-    if (pool.numThreads() <= 1) {
-        for (const auto &dir : dirs) {
-            aggregateDirection(cost, vol, dir[0], dir[1], params.p1,
-                               params.p2, total);
-        }
-    } else {
-        const int nc =
-            int(ThreadPool::partition(0, 8, pool.numThreads()).size());
-        std::vector<std::vector<uint32_t>> partial(nc);
-        pool.parallelForChunks(
-            0, 8, [&](int64_t d0, int64_t d1, int chunk) {
-                partial[chunk].assign(vol.size(), 0);
-                for (int64_t i = d0; i < d1; ++i) {
-                    aggregateDirection(cost, vol, dirs[i][0],
-                                       dirs[i][1], params.p1,
-                                       params.p2, partial[chunk]);
-                }
-            });
-        pool.parallelFor(0, vol.size(), [&](int64_t i0, int64_t i1) {
-            for (int c = 0; c < nc; ++c) {
-                // A nested call degrades to one serial chunk, leaving
-                // the other partials unassigned (and contribution-free).
-                if (int64_t(partial[c].size()) != vol.size())
-                    continue;
-                const uint32_t *p = partial[c].data();
-                for (int64_t i = i0; i < i1; ++i)
-                    total[i] += p[i];
-            }
-        });
+    for (const auto &dir : dirs) {
+        aggregateDirection(vol, dir[0], dir[1], params.p1, params.p2,
+                           total, ctx);
     }
 
-    // 3. Winner-take-all with sub-pixel refinement.
+    // 3. Winner-take-all with sub-pixel refinement, disparity-outer
+    // so every inner scan is a contiguous x run.
     DisparityMap disp(w, h);
     ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        std::vector<uint32_t> best(w);
+        std::vector<int> best_d(w);
         for (int y = int(y0); y < int(y1); ++y) {
+            const uint32_t *t0 = total.data() + vol.idx(0, y, 0);
             for (int x = 0; x < w; ++x) {
-                const uint32_t *s = &total[vol.idx(x, y, 0)];
-                int best = 0;
-                for (int d = 1; d < nd; ++d)
-                    if (s[d] < s[best])
-                        best = d;
-                float dv = static_cast<float>(best);
-                if (params.subpixel && best > 0 && best + 1 < nd)
-                    dv += subpixelOffset(s[best - 1], s[best],
-                                         s[best + 1]);
+                best[x] = t0[x];
+                best_d[x] = 0;
+            }
+            for (int d = 1; d < nd; ++d) {
+                const uint32_t *row = t0 + int64_t(d) * w;
+                for (int x = 0; x < w; ++x) {
+                    if (row[x] < best[x]) {
+                        best[x] = row[x];
+                        best_d[x] = d;
+                    }
+                }
+            }
+            for (int x = 0; x < w; ++x) {
+                const int bd = best_d[x];
+                float dv = static_cast<float>(bd);
+                if (params.subpixel && bd > 0 && bd + 1 < nd) {
+                    dv += subpixelOffset(
+                        t0[int64_t(bd - 1) * w + x],
+                        t0[int64_t(bd) * w + x],
+                        t0[int64_t(bd + 1) * w + x]);
+                }
                 disp.at(x, y) = dv;
             }
         }
@@ -246,23 +364,26 @@ sgmCompute(const image::Image &left, const image::Image &right,
     if (params.leftRightCheck) {
         DisparityMap right_disp(w, h);
         ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+            std::vector<uint32_t> best(w);
+            std::vector<int> best_d(w);
             for (int y = int(y0); y < int(y1); ++y) {
-                for (int xr = 0; xr < w; ++xr) {
-                    int best = 0;
-                    uint32_t best_v =
-                        std::numeric_limits<uint32_t>::max();
-                    for (int d = 0; d < nd; ++d) {
-                        const int xl = xr + d;
-                        if (xl >= w)
-                            break;
-                        const uint32_t v = total[vol.idx(xl, y, d)];
-                        if (v < best_v) {
-                            best_v = v;
-                            best = d;
+                const uint32_t *t0 = total.data() + vol.idx(0, y, 0);
+                std::fill(best.begin(), best.end(),
+                          std::numeric_limits<uint32_t>::max());
+                std::fill(best_d.begin(), best_d.end(), 0);
+                for (int d = 0; d < nd; ++d) {
+                    const uint32_t *row = t0 + int64_t(d) * w;
+                    for (int xr = 0; xr < w - d; ++xr) {
+                        const uint32_t v = row[xr + d];
+                        if (v < best[xr]) {
+                            best[xr] = v;
+                            best_d[xr] = d;
                         }
                     }
-                    right_disp.at(xr, y) = static_cast<float>(best);
                 }
+                for (int xr = 0; xr < w; ++xr)
+                    right_disp.at(xr, y) =
+                        static_cast<float>(best_d[xr]);
             }
         });
         ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {

@@ -38,7 +38,9 @@ struct SgmParams
 /**
  * Census transform: each pixel becomes a bit string comparing its
  * (2r+1)^2 - 1 neighbors against the center. Returned as one uint64
- * per pixel (r <= 3 fits in 48 bits).
+ * per pixel (r <= 3 fits in 48 bits). Interior row strips go through
+ * the dispatched asv::simd census kernel; clamped borders are shared
+ * scalar code, so every SIMD level is bit-identical.
  */
 std::vector<uint64_t> censusTransform(const image::Image &img,
                                       int radius,
@@ -48,6 +50,48 @@ std::vector<uint64_t> censusTransform(const image::Image &img,
 std::vector<uint64_t> censusTransform(const image::Image &img,
                                       int radius);
 
+/**
+ * Hamming matching-cost volume in disparity-major row layout:
+ * cost[(y * nd + d) * width + x]. For a fixed (y, d) the x run is
+ * contiguous, which is what lets the XOR+popcount kernel issue full
+ * vector loads; a whole (y, *, *) row block is nd * width uint16s,
+ * small enough to stay cache-resident through aggregation and WTA.
+ */
+struct CostVolume
+{
+    int width = 0, height = 0, nd = 0;
+    std::vector<uint16_t> cost;
+
+    int64_t
+    idx(int x, int y, int d) const
+    {
+        return (int64_t(y) * nd + d) * width + x;
+    }
+
+    /** Base of the contiguous x run for (y, d). */
+    const uint16_t *row(int y, int d) const
+    {
+        return cost.data() + (int64_t(y) * nd + d) * width;
+    }
+    uint16_t *row(int y, int d)
+    {
+        return cost.data() + (int64_t(y) * nd + d) * width;
+    }
+
+    int64_t size() const { return int64_t(width) * height * nd; }
+};
+
+/**
+ * Census + XOR/popcount Hamming cost volume of a rectified pair
+ * (stage 1 of sgmCompute, exposed for benches and property tests).
+ * Row-parallel on @p ctx; bit-identical across SIMD levels and
+ * worker counts.
+ */
+CostVolume sgmCostVolume(const image::Image &left,
+                         const image::Image &right,
+                         const SgmParams &params,
+                         const ExecContext &ctx);
+
 /** Number of arithmetic ops of sgmCompute on a w x h frame. */
 int64_t sgmOps(int width, int height, const SgmParams &params);
 
@@ -55,7 +99,11 @@ int64_t sgmOps(int width, int height, const SgmParams &params);
  * Run SGM and return the left-reference disparity map. Every stage
  * (census, cost volume, the 8-path aggregation, WTA, the L/R check)
  * fans out on @p ctx's pool; results are bit-identical for any
- * worker count.
+ * worker count and any SIMD level. Aggregation uses scanline/
+ * wavefront parallelism *inside* each directional pass (independent
+ * rows, column strips, or diagonal row wavefronts), so it scales past
+ * 8 workers and needs only O(row) scratch instead of one partial
+ * volume per busy chunk.
  */
 DisparityMap sgmCompute(const image::Image &left,
                         const image::Image &right,
