@@ -3,16 +3,20 @@
  * google-benchmark microbenchmarks of the functional kernels: the
  * reference deconvolution vs the transformed execution (the wall
  * clock counterpart of the op-count savings), Farnebäck flow, block
- * matching and SGM, plus a per-SIMD-level sweep of the census and
- * Hamming cost-volume kernels (the ≥2x vector-vs-scalar datapoints
- * tracked in BENCH_kernels.json). The benchmark context records the
- * dispatched ISA (asv_simd) so trajectory comparisons across hosts
- * stay meaningful.
+ * matching and SGM, plus a per-SIMD-level sweep of the census,
+ * Hamming cost-volume, and SGM aggregation-row kernels (the
+ * vector-vs-scalar datapoints tracked in BENCH_kernels.json). The
+ * benchmark context records the dispatched ISA (asv_simd) so
+ * trajectory comparisons across hosts stay meaningful.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/simd.hh"
@@ -185,6 +189,42 @@ BM_CostVolume(benchmark::State &state, simd::Level level)
     state.SetItemsProcessed(state.iterations() * n * n);
 }
 
+void
+BM_AggregateRow(benchmark::State &state, simd::Level level)
+{
+    // One horizontal SGM path over a 256-pixel row: per pixel, the
+    // dispatched aggregateRow kernel updates all nd disparity lanes
+    // and hands its horizontal min to the next pixel — the exact
+    // call pattern of the aggregation passes. Buffers follow the
+    // kernel contract (0xFFFF sentinels at prev[-1]/prev[nd]).
+    LevelGuard guard(level);
+    Rng rng(9);
+    const int nd = int(state.range(0));
+    const int w = 256;
+    std::vector<uint16_t> cost(int64_t(w) * nd);
+    for (auto &c : cost)
+        c = uint16_t(rng.uniformInt(0, 48));
+    std::vector<uint16_t> prev(nd + 2, 0xFFFF), cur(nd + 2, 0xFFFF);
+    std::vector<uint32_t> total(int64_t(w) * nd, 0);
+    const simd::Kernels &k = simd::kernels();
+    for (auto _ : state) {
+        uint16_t *pp = prev.data() + 1, *pc = cur.data() + 1;
+        uint16_t m = 0xFFFF;
+        for (int d = 0; d < nd; ++d) {
+            pp[d] = cost[d];
+            m = std::min(m, pp[d]);
+        }
+        for (int x = 1; x < w; ++x) {
+            m = k.aggregateRow(cost.data() + int64_t(x) * nd, pp, m,
+                               nd, 3, 40, pc,
+                               total.data() + int64_t(x) * nd);
+            std::swap(pp, pc);
+        }
+        benchmark::DoNotOptimize(m);
+    }
+    state.SetItemsProcessed(state.iterations() * (w - 1) * nd);
+}
+
 } // namespace
 
 int
@@ -203,6 +243,10 @@ main(int argc, char **argv)
             ("BM_CostVolume/" + suffix).c_str(), BM_CostVolume,
             level)
             ->Arg(256);
+        benchmark::RegisterBenchmark(
+            ("BM_AggregateRow/" + suffix).c_str(), BM_AggregateRow,
+            level)
+            ->Arg(64);
     }
     benchmark::AddCustomContext("asv_simd", simd::activeName());
     benchmark::AddCustomContext(

@@ -4,18 +4,75 @@
 # record the combined results as JSON, seeding the perf trajectory
 # tracked across PRs.
 #
-# Usage: bench/run_benchmarks.sh [output.json]
+# Usage: bench/run_benchmarks.sh [--check|--check-only] [output.json]
 #   BUILD_DIR   build tree to use (default: build-bench, configured
 #               as Release — never a developer's ./build cache)
 #   ASV_THREADS worker count for the threaded kernels (default: all)
+#
+# --check: perf-regression gate. Instead of (only) writing results,
+# compare the fresh run against the committed BENCH_kernels.json
+# baseline for the named kernels and exit nonzero if any slowed down
+# by more than the threshold. --check-only skips the build/run and
+# just compares an existing results file (the required positional
+# argument) against the baseline — CI uses this so the gate reuses
+# the run the bench job already made. Knobs:
+#   ASV_BENCH_CHECK_THRESHOLD  max allowed fresh/baseline real_time
+#                              ratio (default 1.5, i.e. +50% — wide
+#                              because the 1-CPU shared CI runners
+#                              are noisy; CI runs this step
+#                              advisory / continue-on-error)
+#   ASV_BENCH_CHECK_KERNELS    regex of benchmark names to gate
+#                              (default: the census, cost-volume and
+#                              aggregate-row SIMD sweeps plus the
+#                              end-to-end BM_Sgm/256 datapoint)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+CHECK=0
+RUN=1
+if [[ "${1:-}" == "--check" ]]; then
+    CHECK=1
+    shift
+elif [[ "${1:-}" == "--check-only" ]]; then
+    CHECK=1
+    RUN=0
+    shift
+fi
+
 # A dedicated build tree by default: the harness forces Release and
 # must not silently reconfigure a developer's ./build cache.
 BUILD_DIR="${BUILD_DIR:-build-bench}"
-OUT="${1:-BENCH_kernels.json}"
+BASELINE="BENCH_kernels.json"
+if [[ $CHECK -eq 1 ]]; then
+    if [[ $RUN -eq 0 ]]; then
+        [[ -n "${1:-}" ]] || {
+            echo "--check-only needs an existing results file" >&2
+            exit 2
+        }
+        OUT="$1"
+        [[ -f "$OUT" ]] || {
+            echo "--check-only: no such results file: $OUT" >&2
+            exit 2
+        }
+    else
+        OUT="${1:-$(mktemp /tmp/asv-bench-check-XXXX.json)}"
+    fi
+    # The gate must never clobber (or compare a file against itself
+    # as) the committed baseline.
+    if [[ "$(readlink -f "$OUT")" == "$(readlink -f "$BASELINE")" ]]
+    then
+        echo "check mode refuses to use the baseline ($BASELINE)" \
+             "as the fresh-results file" >&2
+        exit 2
+    fi
+else
+    OUT="${1:-BENCH_kernels.json}"
+fi
+THRESHOLD="${ASV_BENCH_CHECK_THRESHOLD:-1.5}"
+KERNELS="${ASV_BENCH_CHECK_KERNELS:-^BM_Census/|^BM_CostVolume/|^BM_AggregateRow/|^BM_Sgm/256}"
+
+if [[ $RUN -eq 1 ]]; then
 
 # Force an optimized library build: benchmark numbers from a debug
 # tree poison the perf trajectory (BENCH_kernels.json once recorded
@@ -78,3 +135,70 @@ else
 fi
 
 echo "wrote $OUT"
+
+fi # RUN
+
+if [[ $CHECK -eq 1 ]]; then
+    command -v python3 >/dev/null 2>&1 || {
+        echo "--check requires python3" >&2
+        exit 2
+    }
+    ASV_BENCH_CHECK_THRESHOLD="$THRESHOLD" \
+    ASV_BENCH_CHECK_KERNELS="$KERNELS" \
+    python3 - "$BASELINE" "$OUT" <<'PY'
+import json, os, re, sys
+
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+threshold = float(os.environ["ASV_BENCH_CHECK_THRESHOLD"])
+pattern = re.compile(os.environ["ASV_BENCH_CHECK_KERNELS"])
+
+# Normalize every datapoint to nanoseconds of real_time, keyed by
+# the benchmark name (aggregates, if any, are skipped).
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if "real_time" not in b:
+            continue
+        out[name] = b["real_time"] * UNIT_NS.get(
+            b.get("time_unit", "ns"), 1.0)
+    return out
+
+base = load(baseline_path)
+fresh = load(fresh_path)
+
+rows, failed, missing = [], [], []
+for name in sorted(fresh):
+    if not pattern.search(name):
+        continue
+    if name not in base:
+        missing.append(name)
+        continue
+    ratio = fresh[name] / base[name] if base[name] else float("inf")
+    rows.append((name, base[name], fresh[name], ratio))
+    if ratio > threshold:
+        failed.append(name)
+
+print(f"perf check vs {baseline_path} "
+      f"(threshold {threshold:.2f}x on real_time):")
+for name, b, f_, r in rows:
+    flag = " << REGRESSION" if name in failed else ""
+    print(f"  {name:<40} {b/1e6:10.3f}ms -> {f_/1e6:10.3f}ms "
+          f"({r:5.2f}x){flag}")
+for name in missing:
+    print(f"  {name:<40} (new datapoint, no baseline)")
+if not rows:
+    print("  no gated kernels matched both runs", file=sys.stderr)
+    sys.exit(2)
+if failed:
+    print(f"{len(failed)} kernel(s) regressed beyond "
+          f"{threshold:.2f}x", file=sys.stderr)
+    sys.exit(1)
+print("perf check passed")
+PY
+fi

@@ -1,0 +1,26 @@
+# Cross toolchain: x86-64 host -> aarch64-linux-gnu target, with
+# qemu-user as the ctest launcher so the NEON kernel table runs on
+# every PR without Arm hardware.
+#
+#   apt install g++-aarch64-linux-gnu qemu-user libgtest-dev
+#   cmake -B build-aarch64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake \
+#     -DASV_GTEST_SOURCE_DIR=/usr/src/googletest
+#   cmake --build build-aarch64 -j
+#   ASV_SIMD=neon ctest --test-dir build-aarch64
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# qemu-user runs the test binaries; -L points it at the target's
+# loader and shared libraries.
+set(CMAKE_CROSSCOMPILING_EMULATOR
+    "qemu-aarch64;-L;/usr/aarch64-linux-gnu")
+
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE ONLY)

@@ -2,12 +2,13 @@
  * @file
  * Runtime-dispatched SIMD kernel layer for the stereo hot path.
  *
- * The three inner loops that dominate classical stereo — census
- * bit-packing, XOR+popcount Hamming cost rows, and SAD accumulation
- * for block matching — carry 8-32x of data-level parallelism that
- * scalar per-pixel loops leave on the table. This layer exposes them
- * as a table of function pointers (`Kernels`) with one implementation
- * per ISA, selected once at startup:
+ * The four inner loops that dominate classical stereo — census
+ * bit-packing, XOR+popcount Hamming cost rows, SAD accumulation for
+ * block matching, and the semi-global aggregation recurrence — carry
+ * 8-32x of data-level parallelism that scalar per-pixel loops leave
+ * on the table. This layer exposes them as a table of function
+ * pointers (`Kernels`) with one implementation per ISA, selected once
+ * at startup:
  *
  *  - detection order: AVX2 > SSE4.2 > NEON > scalar, via cpuid
  *    (`__builtin_cpu_supports`); only levels both compiled into the
@@ -27,7 +28,9 @@
  * integer/predicate arithmetic, so this is automatic; the SAD kernel
  * vectorizes across *candidates* (one disparity per lane) so each
  * lane performs the exact double-precision accumulation sequence of
- * the scalar loop. Adding an ISA means porting the three kernels
+ * the scalar loop; the aggregation kernel's saturating uint16 lane
+ * arithmetic provably reproduces the scalar clamped-uint32 order
+ * (see AggregateRowFn). Adding an ISA means porting the four kernels
  * under the same contract (see README "SIMD backends").
  */
 
@@ -44,7 +47,7 @@ enum class Level {
     Scalar = 0, //!< portable reference (always available)
     Sse42 = 1,  //!< x86 SSE4.2 + POPCNT
     Avx2 = 2,   //!< x86 AVX2 (popcount-by-nibble, 256-bit lanes)
-    Neon = 3,   //!< aarch64 NEON (stub slot; not yet implemented)
+    Neon = 3,   //!< aarch64 NEON (Advanced SIMD, baseline on armv8-a)
 };
 
 /**
@@ -84,6 +87,41 @@ using SadSpanFn = void (*)(const float *const *lrows,
                            const float *const *rrows, int radius,
                            int x, int d0, int n, double *cost);
 
+/**
+ * One pixel of the semi-global aggregation recurrence across all
+ * @p nd disparities (the uint16 lanes), plus the horizontal-min
+ * reduction. For each d in [0, nd):
+ *
+ *   cur[d]    = sat16(cost[d] + min(prev[d], prev[d-1] + p1,
+ *                                   prev[d+1] + p1, prev_min + p2)
+ *                     - prev_min)
+ *   total[d] += cur[d]
+ *
+ * and the return value is min(cur[0..nd)) — the prev_min of the next
+ * pixel along the path. cost/cur/total are dense length-nd slices
+ * (pixel-major); @p prev_min must equal min(prev[0..nd)).
+ *
+ * Sentinel contract: the caller guarantees prev[-1] and prev[nd] are
+ * readable and hold 0xFFFF. A 0xFFFF neighbor can never win the min
+ * against prev[d] <= 0xFFFF, so the vector bodies need no first/last
+ * lane special cases and stay bit-identical to the scalar reference,
+ * which skips the out-of-range neighbors by branching.
+ *
+ * Bit-identity: the scalar reference computes in uint32 and clamps to
+ * 0xFFFF. Because prev[d] <= 0xFFFF is always a min candidate, a
+ * saturating uint16 add can never change which candidate wins, and
+ * best - prev_min never underflows (every candidate >= prev_min), so
+ * saturating uint16 lane arithmetic replays the scalar order exactly.
+ * The caller must pass p1, p2 already clamped to [0, 0xFFFF] — a
+ * penalty above 0xFFFF can never win either, so clamping at the call
+ * site preserves the unclamped scalar semantics.
+ */
+using AggregateRowFn = uint16_t (*)(const uint16_t *cost,
+                                    const uint16_t *prev,
+                                    uint16_t prev_min, int nd,
+                                    uint16_t p1, uint16_t p2,
+                                    uint16_t *cur, uint32_t *total);
+
 /** One ISA's kernel table. */
 struct Kernels
 {
@@ -92,6 +130,7 @@ struct Kernels
     CensusRowFn censusRow;
     HammingRowFn hammingRow;
     SadSpanFn sadSpan;
+    AggregateRowFn aggregateRow;
 };
 
 /**

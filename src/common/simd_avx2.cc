@@ -2,7 +2,8 @@
  * @file
  * AVX2 kernel table: 8-wide census bit-packing, popcount-by-nibble
  * (PSHUFB lookup + SAD reduction) Hamming rows over 4x64-bit lanes,
- * and 8-wide (two 4-lane double accumulators) SAD spans.
+ * 8-wide (two 4-lane double accumulators) SAD spans, and 16-lane
+ * saturating-uint16 SGM aggregation rows.
  *
  * Compiled with -mavx2 -mpopcnt (see CMakeLists); degrades to a
  * nullptr getter without those flags.
@@ -158,8 +159,67 @@ sadSpanAvx2(const float *const *lrows, const float *const *rrows,
     sadSpanRef(lrows, rrows, radius, x, d0, j, n - j, cost);
 }
 
+uint16_t
+aggregateRowAvx2(const uint16_t *cost, const uint16_t *prev,
+                 uint16_t prev_min, int nd, uint16_t p1, uint16_t p2,
+                 uint16_t *cur, uint32_t *total)
+{
+    // 16 disparity lanes per iteration. The neighbor loads at
+    // prev +/- 1 are covered by the caller's 0xFFFF sentinels, so
+    // every block is uniform; saturating adds + unsigned mins replay
+    // the scalar clamped-uint32 order exactly (see AggregateRowFn).
+    const __m256i vp1 = _mm256_set1_epi16(short(p1));
+    const __m256i vpm = _mm256_set1_epi16(short(prev_min));
+    const __m256i vcap =
+        _mm256_adds_epu16(vpm, _mm256_set1_epi16(short(p2)));
+    __m256i vmin = _mm256_set1_epi16(short(0xFFFF));
+    int d = 0;
+    for (; d + 16 <= nd; d += 16) {
+        const __m256i pv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(prev + d));
+        const __m256i pl = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(prev + d - 1));
+        const __m256i pr = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(prev + d + 1));
+        __m256i best =
+            _mm256_min_epu16(pv, _mm256_adds_epu16(pl, vp1));
+        best = _mm256_min_epu16(best, _mm256_adds_epu16(pr, vp1));
+        best = _mm256_min_epu16(best, vcap);
+        // Every candidate >= prev_min, so the subtract cannot wrap.
+        best = _mm256_sub_epi16(best, vpm);
+        const __m256i c = _mm256_adds_epu16(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(cost + d)),
+            best);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(cur + d), c);
+        vmin = _mm256_min_epu16(vmin, c);
+        __m256i t0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(total + d));
+        __m256i t1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(total + d + 8));
+        t0 = _mm256_add_epi32(
+            t0, _mm256_cvtepu16_epi32(_mm256_castsi256_si128(c)));
+        t1 = _mm256_add_epi32(
+            t1,
+            _mm256_cvtepu16_epi32(_mm256_extracti128_si256(c, 1)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(total + d),
+                            t0);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(total + d + 8), t1);
+    }
+    const __m128i m128 =
+        _mm_min_epu16(_mm256_castsi256_si128(vmin),
+                      _mm256_extracti128_si256(vmin, 1));
+    const uint16_t vec_min = static_cast<uint16_t>(
+        _mm_extract_epi16(_mm_minpos_epu16(m128), 0));
+    const uint16_t tail_min = aggregateRowRef(
+        cost, prev, prev_min, nd, p1, p2, d, nd, cur, total);
+    return std::min(vec_min, tail_min);
+}
+
 constexpr Kernels kAvx2Kernels = {
     "avx2", Level::Avx2, censusRowAvx2, hammingRowAvx2, sadSpanAvx2,
+    aggregateRowAvx2,
 };
 
 } // namespace

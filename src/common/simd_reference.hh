@@ -2,13 +2,14 @@
  * @file
  * Shared scalar reference loops for the SIMD kernel table.
  *
- * One definition of the census bit-pack, Hamming popcount, and SAD
- * accumulation semantics, included by every per-ISA translation unit:
- * the scalar table uses them as its kernels, and the vector tables
- * use them for sub-vector tails. Keeping a single copy means a
- * future change to the encoding or accumulation order cannot
- * silently diverge between the scalar baseline and a tail path —
- * the exact breakage the bit-identity contract guards against.
+ * One definition of the census bit-pack, Hamming popcount, SAD
+ * accumulation, and semi-global aggregation semantics, included by
+ * every per-ISA translation unit: the scalar table uses them as its
+ * kernels, and the vector tables use them for sub-vector tails.
+ * Keeping a single copy means a future change to the encoding or
+ * accumulation order cannot silently diverge between the scalar
+ * baseline and a tail path — the exact breakage the bit-identity
+ * contract guards against.
  *
  * All operations are exact (integer, predicate, or IEEE add/sub/abs
  * with no fusable multiply-adds), so compiling these inline functions
@@ -18,6 +19,7 @@
 #ifndef ASV_COMMON_SIMD_REFERENCE_HH
 #define ASV_COMMON_SIMD_REFERENCE_HH
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -76,6 +78,38 @@ sadSpanRef(const float *const *lrows, const float *const *rrows,
         }
         cost[j] = s;
     }
+}
+
+/**
+ * Semi-global aggregation of disparities [d0, d1) of one pixel; see
+ * AggregateRowFn. The vector tables call this with d0 > 0 for the
+ * sub-vector tail; out-of-range neighbors are skipped by branching,
+ * which the sentinel contract makes equivalent to the vector bodies'
+ * 0xFFFF loads. All arithmetic is uint32 with a final clamp — the
+ * semantics every saturating-uint16 vector lane must reproduce.
+ */
+inline uint16_t
+aggregateRowRef(const uint16_t *cost, const uint16_t *prev,
+                uint16_t prev_min, int nd, uint16_t p1, uint16_t p2,
+                int d0, int d1, uint16_t *cur, uint32_t *total)
+{
+    uint16_t cur_min = 0xFFFF;
+    for (int d = d0; d < d1; ++d) {
+        uint32_t best = prev[d];
+        if (d > 0)
+            best = std::min(best, uint32_t(prev[d - 1]) + p1);
+        if (d + 1 < nd)
+            best = std::min(best, uint32_t(prev[d + 1]) + p1);
+        best = std::min(best, uint32_t(prev_min) + p2);
+        best -= prev_min;
+        const uint32_t v = uint32_t(cost[d]) + best;
+        const uint16_t c =
+            static_cast<uint16_t>(std::min<uint32_t>(v, 0xFFFF));
+        cur[d] = c;
+        total[d] += c;
+        cur_min = std::min(cur_min, c);
+    }
+    return cur_min;
 }
 
 } // namespace asv::simd::detail

@@ -38,9 +38,18 @@ sadSpanScalar(const float *const *lrows, const float *const *rrows,
     sadSpanRef(lrows, rrows, radius, x, d0, 0, n, cost);
 }
 
+uint16_t
+aggregateRowScalar(const uint16_t *cost, const uint16_t *prev,
+                   uint16_t prev_min, int nd, uint16_t p1,
+                   uint16_t p2, uint16_t *cur, uint32_t *total)
+{
+    return aggregateRowRef(cost, prev, prev_min, nd, p1, p2, 0, nd,
+                           cur, total);
+}
+
 constexpr Kernels kScalarKernels = {
     "scalar", Level::Scalar, censusRowScalar, hammingRowScalar,
-    sadSpanScalar,
+    sadSpanScalar, aggregateRowScalar,
 };
 
 } // namespace

@@ -1,7 +1,8 @@
 /**
  * @file
  * SSE4.2 kernel table: 4-wide census bit-packing, hardware-POPCNT
- * Hamming rows, and 2-lane double SAD spans.
+ * Hamming rows, 2-lane double SAD spans, and 8-lane saturating-uint16
+ * SGM aggregation rows (PHMINPOSUW horizontal min).
  *
  * Compiled with -msse4.2 -mpopcnt (see CMakeLists); the whole file
  * degrades to a nullptr getter when those flags are unavailable so
@@ -110,9 +111,60 @@ sadSpanSse42(const float *const *lrows, const float *const *rrows,
     sadSpanRef(lrows, rrows, radius, x, d0, j, n - j, cost);
 }
 
+uint16_t
+aggregateRowSse42(const uint16_t *cost, const uint16_t *prev,
+                  uint16_t prev_min, int nd, uint16_t p1,
+                  uint16_t p2, uint16_t *cur, uint32_t *total)
+{
+    // 8 disparity lanes per iteration. The neighbor loads at
+    // prev +/- 1 are covered by the caller's 0xFFFF sentinels, so
+    // every block is uniform; saturating adds + unsigned mins replay
+    // the scalar clamped-uint32 order exactly (see AggregateRowFn).
+    const __m128i vp1 = _mm_set1_epi16(short(p1));
+    const __m128i vpm = _mm_set1_epi16(short(prev_min));
+    const __m128i vcap =
+        _mm_adds_epu16(vpm, _mm_set1_epi16(short(p2)));
+    __m128i vmin = _mm_set1_epi16(short(0xFFFF));
+    int d = 0;
+    for (; d + 8 <= nd; d += 8) {
+        const __m128i pv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(prev + d));
+        const __m128i pl = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(prev + d - 1));
+        const __m128i pr = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(prev + d + 1));
+        __m128i best = _mm_min_epu16(pv, _mm_adds_epu16(pl, vp1));
+        best = _mm_min_epu16(best, _mm_adds_epu16(pr, vp1));
+        best = _mm_min_epu16(best, vcap);
+        // Every candidate >= prev_min, so the subtract cannot wrap.
+        best = _mm_sub_epi16(best, vpm);
+        const __m128i c = _mm_adds_epu16(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(cost + d)),
+            best);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(cur + d), c);
+        vmin = _mm_min_epu16(vmin, c);
+        __m128i t0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(total + d));
+        __m128i t1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(total + d + 4));
+        t0 = _mm_add_epi32(t0, _mm_cvtepu16_epi32(c));
+        t1 = _mm_add_epi32(t1,
+                           _mm_cvtepu16_epi32(_mm_srli_si128(c, 8)));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(total + d), t0);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(total + d + 4),
+                         t1);
+    }
+    const uint16_t vec_min = static_cast<uint16_t>(
+        _mm_extract_epi16(_mm_minpos_epu16(vmin), 0));
+    const uint16_t tail_min = aggregateRowRef(
+        cost, prev, prev_min, nd, p1, p2, d, nd, cur, total);
+    return std::min(vec_min, tail_min);
+}
+
 constexpr Kernels kSse42Kernels = {
     "sse42", Level::Sse42, censusRowSse42, hammingRowSse42,
-    sadSpanSse42,
+    sadSpanSse42, aggregateRowSse42,
 };
 
 } // namespace

@@ -209,7 +209,7 @@ extractSubKernel(const Tensor &weight, const SubConv &sub,
 Tensor
 transformedDeconv(const Tensor &input, const Tensor &weight,
                   const tensor::DeconvSpec &spec,
-                  tensor::ConvStats *stats)
+                  tensor::ConvStats *stats, const ExecContext &ctx)
 {
     const int nd = input.rank() - 1;
 
@@ -268,16 +268,27 @@ transformedDeconv(const Tensor &input, const Tensor &weight,
                 cs.push_back(input.dim(1 + d) - crop_lo[d] -
                              crop_hi[d]);
             cropped = Tensor(cs);
-            Shape src_idx(nd + 1);
-            tensor::forEachIndex(
-                cs, [&](std::span<const int64_t> dst_idx) {
-                    src_idx[0] = dst_idx[0];
-                    for (int d = 0; d < nd; ++d)
-                        src_idx[1 + d] = dst_idx[1 + d] + crop_lo[d];
-                    cropped.at(dst_idx) =
-                        input.at(std::span<const int64_t>(
-                            src_idx.data(), src_idx.size()));
-                });
+            // Channels write disjoint slices: fan the copy out.
+            const Shape spatial(cs.begin() + 1, cs.end());
+            ctx.parallelFor(0, cs[0], [&](int64_t c0, int64_t c1) {
+                Shape src_idx(nd + 1), dst_idx(nd + 1);
+                for (int64_t c = c0; c < c1; ++c) {
+                    src_idx[0] = dst_idx[0] = c;
+                    tensor::forEachIndex(
+                        spatial, [&](std::span<const int64_t> j) {
+                            for (int d = 0; d < nd; ++d) {
+                                dst_idx[1 + d] = j[d];
+                                src_idx[1 + d] =
+                                    j[d] + crop_lo[d];
+                            }
+                            cropped.at(std::span<const int64_t>(
+                                dst_idx.data(), dst_idx.size())) =
+                                input.at(std::span<const int64_t>(
+                                    src_idx.data(),
+                                    src_idx.size()));
+                        });
+                }
+            });
             eff_input = &cropped;
         }
 
@@ -286,23 +297,44 @@ transformedDeconv(const Tensor &input, const Tensor &weight,
         cspec.padLo = pad_lo;
         cspec.padHi = pad_hi;
         const Tensor sub_out = convNd(*eff_input, sk, cspec,
-                                      tensor::ConvOp::MAC, stats);
+                                      tensor::ConvOp::MAC, stats,
+                                      ctx);
 
         // Gather: interleave into the ofmap at stride positions.
-        Shape out_idx(nd + 1);
-        tensor::forEachIndex(
-            sub_out.shape(), [&](std::span<const int64_t> so_idx) {
-                out_idx[0] = so_idx[0];
-                for (int d = 0; d < nd; ++d) {
-                    out_idx[1 + d] = so_idx[1 + d] * spec.stride[d] +
-                                     sc.dims[d].phase;
+        // Filters write disjoint ofmap slices: fan the scatter out.
+        const Shape so_spatial(sub_out.shape().begin() + 1,
+                               sub_out.shape().end());
+        ctx.parallelFor(
+            0, sub_out.dim(0), [&](int64_t f0, int64_t f1) {
+                Shape so_idx(nd + 1), out_idx(nd + 1);
+                for (int64_t f = f0; f < f1; ++f) {
+                    so_idx[0] = out_idx[0] = f;
+                    tensor::forEachIndex(
+                        so_spatial, [&](std::span<const int64_t> j) {
+                            for (int d = 0; d < nd; ++d) {
+                                so_idx[1 + d] = j[d];
+                                out_idx[1 + d] =
+                                    j[d] * spec.stride[d] +
+                                    sc.dims[d].phase;
+                            }
+                            out.at(std::span<const int64_t>(
+                                out_idx.data(), out_idx.size())) =
+                                sub_out.at(std::span<const int64_t>(
+                                    so_idx.data(), so_idx.size()));
+                        });
                 }
-                out.at(std::span<const int64_t>(out_idx.data(),
-                                                out_idx.size())) =
-                    sub_out.at(so_idx);
             });
     }
     return out;
+}
+
+Tensor
+transformedDeconv(const Tensor &input, const Tensor &weight,
+                  const tensor::DeconvSpec &spec,
+                  tensor::ConvStats *stats)
+{
+    return transformedDeconv(input, weight, spec, stats,
+                             ExecContext::global());
 }
 
 } // namespace asv::deconv

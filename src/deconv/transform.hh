@@ -115,12 +115,25 @@ Tensor extractSubKernel(const Tensor &weight, const SubConv &sub,
  * sub-convolution as a dense convNd, and gather the interleaved
  * ofmap. Bit-equal to tensor::deconvNd.
  *
+ * The sub-convolutions run on @p ctx (convNd partitions the output
+ * range across its pool), and the crop/gather data movement fans out
+ * over the channel dimension. Sub-convolutions execute in phase
+ * order and write disjoint ofmap positions, so the result — and the
+ * @p stats counters — are bit-identical for any worker count.
+ *
  * @param input  [C, spatial...]
  * @param weight [K, C, kspatial...]
  * @param spec   deconvolution stride/padding
  * @param stats  if non-null, accumulates op counts of the dense
  *               sub-convolutions (to contrast with the naive path)
+ * @param ctx    pool the sub-convolutions and data movement run on
  */
+Tensor transformedDeconv(const Tensor &input, const Tensor &weight,
+                         const tensor::DeconvSpec &spec,
+                         tensor::ConvStats *stats,
+                         const ExecContext &ctx);
+
+/** transformedDeconv() on the process-global pool (legacy). */
 Tensor transformedDeconv(const Tensor &input, const Tensor &weight,
                          const tensor::DeconvSpec &spec,
                          tensor::ConvStats *stats = nullptr);

@@ -18,70 +18,97 @@ namespace
 {
 
 /**
- * One step of the semi-global recurrence at a pixel with a valid
- * predecessor:
- *
- *   cur[d] = cost(d) + min(prev[d], prev[d±1]+P1, min(prev)+P2)
- *            - min(prev)
- *
- * The cost/total slices of a pixel are strided by the image width in
- * the disparity-major layout; prev/cur are dense per-path scratch.
- * All arithmetic is exact integer, so the result is independent of
- * how paths are scheduled across threads.
+ * Aggregation-stage geometry: the cost volume transposed to
+ * pixel-major ([(y * w + x) * nd + d]) so every pixel's nd
+ * disparities are the contiguous uint16 lanes the dispatched
+ * aggregateRow kernel consumes, together with the pixel-major
+ * aggregated totals. All arithmetic is exact integer, so the result
+ * is independent of how paths are scheduled across threads.
  */
-inline void
-aggregateStep(const uint16_t *cost_px, uint32_t *total_px,
-              int64_t stride, int nd, int p1, int p2,
-              const uint16_t *prev, uint16_t *cur)
+struct AggregateView
 {
-    const uint16_t prev_min = *std::min_element(prev, prev + nd);
-    for (int d = 0; d < nd; ++d) {
-        uint32_t best = prev[d];
-        if (d > 0)
-            best = std::min<uint32_t>(best, prev[d - 1] + p1);
-        if (d + 1 < nd)
-            best = std::min<uint32_t>(best, prev[d + 1] + p1);
-        best = std::min<uint32_t>(best, uint32_t(prev_min) + p2);
-        best -= prev_min;
-        const uint32_t v = cost_px[int64_t(d) * stride] + best;
-        cur[d] = static_cast<uint16_t>(std::min<uint32_t>(v, 0xFFFF));
-        total_px[int64_t(d) * stride] += cur[d];
-    }
-}
+    const uint16_t *cost; //!< pixel-major cost, [(y*w + x)*nd + d]
+    uint32_t *total;      //!< pixel-major running sum, same layout
+    int w, h, nd;
+    uint16_t p1, p2; //!< clamped to [0, 0xFFFF] (kernel contract)
 
-/** Path-start step (no predecessor): L_r is the raw matching cost. */
-inline void
-startStep(const uint16_t *cost_px, uint32_t *total_px, int64_t stride,
-          int nd, uint16_t *cur)
-{
-    for (int d = 0; d < nd; ++d) {
-        cur[d] = cost_px[int64_t(d) * stride];
-        total_px[int64_t(d) * stride] += cur[d];
+    const uint16_t *costPx(int x, int y) const
+    {
+        return cost + (int64_t(y) * w + x) * nd;
     }
+    uint32_t *totalPx(int x, int y) const
+    {
+        return total + (int64_t(y) * w + x) * nd;
+    }
+};
+
+/**
+ * Path-start step (no predecessor): L_r is the raw matching cost.
+ * Returns min(cur[0..nd)) — the prev_min of the next pixel.
+ */
+inline uint16_t
+startRow(const uint16_t *cost_px, int nd, uint16_t *cur,
+         uint32_t *total_px)
+{
+    uint16_t cur_min = 0xFFFF;
+    for (int d = 0; d < nd; ++d) {
+        const uint16_t c = cost_px[d];
+        cur[d] = c;
+        total_px[d] += c;
+        cur_min = std::min(cur_min, c);
+    }
+    return cur_min;
 }
 
 /**
+ * Per-path L_r scratch rows padded with the 0xFFFF neighbor
+ * sentinels the aggregateRow kernel contract requires at prev[-1]
+ * and prev[nd]. The kernel only ever writes cur[0..nd), so the
+ * sentinels set at construction survive every swap.
+ */
+class PathScratch
+{
+  public:
+    PathScratch(int nd, int64_t paths)
+        : stride_(nd + 2), buf_(stride_ * paths, 0xFFFF)
+    {
+    }
+
+    /** Interior (length-nd) slice of path @p i. */
+    uint16_t *row(int64_t i) { return buf_.data() + i * stride_ + 1; }
+
+    void swap(PathScratch &other)
+    {
+        buf_.swap(other.buf_);
+    }
+
+  private:
+    int64_t stride_;
+    std::vector<uint16_t> buf_;
+};
+
+/**
  * Horizontal pass (dy == 0): every row is an independent 1-D path,
- * so rows fan out directly and each needs only 2*nd scratch.
+ * so rows fan out directly and each needs only 2*(nd+2) scratch.
  */
 void
-aggregateHorizontal(const CostVolume &vol, int dx, int p1, int p2,
-                    std::vector<uint32_t> &total,
+aggregateHorizontal(const AggregateView &v, int dx,
                     const ExecContext &ctx)
 {
-    const int w = vol.width, nd = vol.nd;
-    ctx.parallelFor(0, vol.height, [&](int64_t y0, int64_t y1) {
-        std::vector<uint16_t> prev(nd), cur(nd);
+    const int w = v.w, nd = v.nd;
+    const simd::Kernels &k = simd::kernels();
+    ctx.parallelFor(0, v.h, [&](int64_t y0, int64_t y1) {
+        PathScratch scratch(nd, 2);
         for (int y = int(y0); y < int(y1); ++y) {
-            const uint16_t *crow = vol.row(y, 0);
-            uint32_t *trow = total.data() + vol.idx(0, y, 0);
+            uint16_t *prev = scratch.row(0), *cur = scratch.row(1);
             int x = dx > 0 ? 0 : w - 1;
-            startStep(crow + x, trow + x, w, nd, cur.data());
-            std::swap(prev, cur);
+            uint16_t prev_min =
+                startRow(v.costPx(x, y), nd, prev, v.totalPx(x, y));
             for (int i = 1; i < w; ++i) {
                 x += dx;
-                aggregateStep(crow + x, trow + x, w, nd, p1, p2,
-                              prev.data(), cur.data());
+                prev_min = k.aggregateRow(v.costPx(x, y), prev,
+                                          prev_min, nd, v.p1, v.p2,
+                                          cur, v.totalPx(x, y));
                 std::swap(prev, cur);
             }
         }
@@ -92,34 +119,34 @@ aggregateHorizontal(const CostVolume &vol, int dx, int p1, int p2,
  * Vertical pass (dx == 0): columns are independent paths with a pure
  * (x, y-dy) -> (x, y) dependency, so contiguous column strips run in
  * parallel, each sweeping its rows in order with one strip-wide
- * previous-row buffer ([xi * nd + d] layout).
+ * previous-row buffer (and a per-column carried minimum).
  */
 void
-aggregateVertical(const CostVolume &vol, int dy, int p1, int p2,
-                  std::vector<uint32_t> &total, const ExecContext &ctx)
+aggregateVertical(const AggregateView &v, int dy,
+                  const ExecContext &ctx)
 {
-    const int w = vol.width, h = vol.height, nd = vol.nd;
+    const int w = v.w, h = v.h, nd = v.nd;
+    const simd::Kernels &k = simd::kernels();
     ctx.parallelFor(0, w, [&](int64_t x0, int64_t x1) {
-        const int nx = int(x1 - x0);
-        std::vector<uint16_t> prev(int64_t(nx) * nd);
-        std::vector<uint16_t> cur(int64_t(nx) * nd);
+        const int64_t nx = x1 - x0;
+        PathScratch prev(nd, nx), cur(nd, nx);
+        std::vector<uint16_t> mins(nx, 0);
         const int y_begin = dy > 0 ? 0 : h - 1;
         for (int i = 0; i < h; ++i) {
             const int y = y_begin + i * dy;
-            const uint16_t *crow = vol.row(y, 0);
-            uint32_t *trow = total.data() + vol.idx(0, y, 0);
             for (int x = int(x0); x < int(x1); ++x) {
-                uint16_t *c = cur.data() + int64_t(x - x0) * nd;
+                const int64_t xi = x - x0;
+                uint16_t *c = cur.row(xi);
                 if (i == 0) {
-                    startStep(crow + x, trow + x, w, nd, c);
+                    mins[xi] = startRow(v.costPx(x, y), nd, c,
+                                        v.totalPx(x, y));
                 } else {
-                    const uint16_t *p =
-                        prev.data() + int64_t(x - x0) * nd;
-                    aggregateStep(crow + x, trow + x, w, nd, p1, p2,
-                                  p, c);
+                    mins[xi] = k.aggregateRow(
+                        v.costPx(x, y), prev.row(xi), mins[xi], nd,
+                        v.p1, v.p2, c, v.totalPx(x, y));
                 }
             }
-            std::swap(prev, cur);
+            prev.swap(cur);
         }
     });
 }
@@ -128,53 +155,52 @@ aggregateVertical(const CostVolume &vol, int dy, int p1, int p2,
  * Diagonal pass (|dx| == |dy| == 1): the predecessor of every pixel
  * in row y lies in row y - dy, so each row is a wavefront — rows
  * advance serially while the pixels of a row fan out across the
- * pool. Two pixel-major row buffers ([x * nd + d]) carry L_r between
- * wavefronts.
+ * pool. Two sentinel-padded row buffers (plus the per-pixel carried
+ * minima) hand L_r between wavefronts.
  */
 void
-aggregateDiagonal(const CostVolume &vol, int dx, int dy, int p1,
-                  int p2, std::vector<uint32_t> &total,
+aggregateDiagonal(const AggregateView &v, int dx, int dy,
                   const ExecContext &ctx)
 {
-    const int w = vol.width, h = vol.height, nd = vol.nd;
-    std::vector<uint16_t> prev_row(int64_t(w) * nd);
-    std::vector<uint16_t> cur_row(int64_t(w) * nd);
+    const int w = v.w, h = v.h, nd = v.nd;
+    const simd::Kernels &k = simd::kernels();
+    PathScratch prev_row(nd, w), cur_row(nd, w);
+    std::vector<uint16_t> prev_min(w, 0), cur_min(w, 0);
     const int y_begin = dy > 0 ? 0 : h - 1;
     for (int i = 0; i < h; ++i) {
         const int y = y_begin + i * dy;
-        const uint16_t *crow = vol.row(y, 0);
-        uint32_t *trow = total.data() + vol.idx(0, y, 0);
         const bool first_row = i == 0;
         ctx.parallelFor(0, w, [&](int64_t x0, int64_t x1) {
             for (int x = int(x0); x < int(x1); ++x) {
-                uint16_t *c = cur_row.data() + int64_t(x) * nd;
+                uint16_t *c = cur_row.row(x);
                 const int px = x - dx;
                 if (first_row || px < 0 || px >= w) {
-                    startStep(crow + x, trow + x, w, nd, c);
+                    cur_min[x] = startRow(v.costPx(x, y), nd, c,
+                                          v.totalPx(x, y));
                 } else {
-                    const uint16_t *p =
-                        prev_row.data() + int64_t(px) * nd;
-                    aggregateStep(crow + x, trow + x, w, nd, p1, p2,
-                                  p, c);
+                    cur_min[x] = k.aggregateRow(
+                        v.costPx(x, y), prev_row.row(px),
+                        prev_min[px], nd, v.p1, v.p2, c,
+                        v.totalPx(x, y));
                 }
             }
         });
-        std::swap(prev_row, cur_row);
+        prev_row.swap(cur_row);
+        prev_min.swap(cur_min);
     }
 }
 
 /** One semi-global aggregation pass along direction (dx, dy). */
 void
-aggregateDirection(const CostVolume &vol, int dx, int dy, int p1,
-                   int p2, std::vector<uint32_t> &total,
+aggregateDirection(const AggregateView &v, int dx, int dy,
                    const ExecContext &ctx)
 {
     if (dy == 0)
-        aggregateHorizontal(vol, dx, p1, p2, total, ctx);
+        aggregateHorizontal(v, dx, ctx);
     else if (dx == 0)
-        aggregateVertical(vol, dy, p1, p2, total, ctx);
+        aggregateVertical(v, dy, ctx);
     else
-        aggregateDiagonal(vol, dx, dy, p1, p2, total, ctx);
+        aggregateDiagonal(v, dx, dy, ctx);
 }
 
 float
@@ -307,52 +333,71 @@ sgmCompute(const image::Image &left, const image::Image &right,
              "stereo pair size mismatch");
     const int w = left.width(), h = left.height();
     const int nd = params.maxDisparity + 1;
+    fatal_if(params.p1 < 0 || params.p2 < 0,
+             "SGM penalties must be non-negative");
 
-    // 1. Census + Hamming cost volume (disparity-major rows).
-    const CostVolume vol = sgmCostVolume(left, right, params, ctx);
+    // 1. Census + Hamming cost volume (disparity-major rows — the
+    // layout the XOR+popcount kernel wants), then one transpose to
+    // pixel-major so every pixel's nd disparities are the contiguous
+    // uint16 lanes the aggregateRow kernel consumes. The d-major
+    // volume is released right after: steady-state footprint is
+    // unchanged.
+    CostVolume vol = sgmCostVolume(left, right, params, ctx);
+    std::vector<uint16_t> cost_pm(vol.size());
+    ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
+        for (int y = int(y0); y < int(y1); ++y) {
+            for (int d = 0; d < nd; ++d) {
+                const uint16_t *src = vol.row(y, d);
+                uint16_t *dst =
+                    cost_pm.data() + int64_t(y) * w * nd + d;
+                for (int x = 0; x < w; ++x)
+                    dst[int64_t(x) * nd] = src[x];
+            }
+        }
+    });
+    vol.cost = std::vector<uint16_t>();
 
-    // 2. Eight-path aggregation. Each pass parallelizes internally
-    // (rows / column strips / diagonal row wavefronts); passes run in
-    // sequence, each cell of `total` is incremented exactly once per
-    // pass, and all arithmetic is exact integer, so the sum is
-    // bit-identical to the serial loop for any worker count.
-    std::vector<uint32_t> total(vol.size(), 0);
+    // 2. Eight-path aggregation through the dispatched aggregateRow
+    // kernel. Each pass parallelizes internally (rows / column strips
+    // / diagonal row wavefronts); passes run in sequence, each cell
+    // of `total` is incremented exactly once per pass, and all
+    // arithmetic is exact integer, so the sum is bit-identical to the
+    // serial loop for any worker count and SIMD level. Penalties
+    // above 0xFFFF can never win the min, so clamping preserves the
+    // unclamped semantics (see AggregateRowFn).
+    std::vector<uint32_t> total(int64_t(w) * h * nd, 0);
+    const AggregateView view{
+        cost_pm.data(),
+        total.data(),
+        w,
+        h,
+        nd,
+        static_cast<uint16_t>(std::min(params.p1, 0xFFFF)),
+        static_cast<uint16_t>(std::min(params.p2, 0xFFFF))};
     const int dirs[8][2] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
                             {1, 1},  {-1, 1}, {1, -1}, {-1, -1}};
-    for (const auto &dir : dirs) {
-        aggregateDirection(vol, dir[0], dir[1], params.p1, params.p2,
-                           total, ctx);
-    }
+    for (const auto &dir : dirs)
+        aggregateDirection(view, dir[0], dir[1], ctx);
 
-    // 3. Winner-take-all with sub-pixel refinement, disparity-outer
-    // so every inner scan is a contiguous x run.
+    // 3. Winner-take-all with sub-pixel refinement; each pixel's
+    // disparity slice is a contiguous scan in the pixel-major layout.
     DisparityMap disp(w, h);
     ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
-        std::vector<uint32_t> best(w);
-        std::vector<int> best_d(w);
         for (int y = int(y0); y < int(y1); ++y) {
-            const uint32_t *t0 = total.data() + vol.idx(0, y, 0);
             for (int x = 0; x < w; ++x) {
-                best[x] = t0[x];
-                best_d[x] = 0;
-            }
-            for (int d = 1; d < nd; ++d) {
-                const uint32_t *row = t0 + int64_t(d) * w;
-                for (int x = 0; x < w; ++x) {
-                    if (row[x] < best[x]) {
-                        best[x] = row[x];
-                        best_d[x] = d;
+                const uint32_t *s = view.totalPx(x, y);
+                uint32_t best = s[0];
+                int bd = 0;
+                for (int d = 1; d < nd; ++d) {
+                    if (s[d] < best) {
+                        best = s[d];
+                        bd = d;
                     }
                 }
-            }
-            for (int x = 0; x < w; ++x) {
-                const int bd = best_d[x];
                 float dv = static_cast<float>(bd);
                 if (params.subpixel && bd > 0 && bd + 1 < nd) {
-                    dv += subpixelOffset(
-                        t0[int64_t(bd - 1) * w + x],
-                        t0[int64_t(bd) * w + x],
-                        t0[int64_t(bd + 1) * w + x]);
+                    dv += subpixelOffset(s[bd - 1], s[bd],
+                                         s[bd + 1]);
                 }
                 disp.at(x, y) = dv;
             }
@@ -364,26 +409,21 @@ sgmCompute(const image::Image &left, const image::Image &right,
     if (params.leftRightCheck) {
         DisparityMap right_disp(w, h);
         ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
-            std::vector<uint32_t> best(w);
-            std::vector<int> best_d(w);
             for (int y = int(y0); y < int(y1); ++y) {
-                const uint32_t *t0 = total.data() + vol.idx(0, y, 0);
-                std::fill(best.begin(), best.end(),
-                          std::numeric_limits<uint32_t>::max());
-                std::fill(best_d.begin(), best_d.end(), 0);
-                for (int d = 0; d < nd; ++d) {
-                    const uint32_t *row = t0 + int64_t(d) * w;
-                    for (int xr = 0; xr < w - d; ++xr) {
-                        const uint32_t v = row[xr + d];
-                        if (v < best[xr]) {
-                            best[xr] = v;
-                            best_d[xr] = d;
+                for (int xr = 0; xr < w; ++xr) {
+                    uint32_t best =
+                        std::numeric_limits<uint32_t>::max();
+                    int bd = 0;
+                    for (int d = 0; d < nd && xr + d < w; ++d) {
+                        const uint32_t val =
+                            view.totalPx(xr + d, y)[d];
+                        if (val < best) {
+                            best = val;
+                            bd = d;
                         }
                     }
+                    right_disp.at(xr, y) = static_cast<float>(bd);
                 }
-                for (int xr = 0; xr < w; ++xr)
-                    right_disp.at(xr, y) =
-                        static_cast<float>(best_d[xr]);
             }
         });
         ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {

@@ -28,8 +28,8 @@ struct SgmParams
 {
     int censusRadius = 2;  //!< census window is (2r+1)^2 (<= 5x5 bits)
     int maxDisparity = 64; //!< disparity range [0, maxDisparity]
-    int p1 = 3;            //!< small-jump penalty (|dd| == 1)
-    int p2 = 40;           //!< large-jump penalty (|dd| > 1)
+    int p1 = 3;            //!< small-jump penalty (|dd| == 1, >= 0)
+    int p2 = 40;           //!< large-jump penalty (|dd| > 1, >= 0)
     bool subpixel = true;  //!< parabolic sub-pixel interpolation
     bool leftRightCheck = true; //!< invalidate inconsistent pixels
     int lrTolerance = 1;   //!< max allowed L/R disagreement (pixels)
@@ -103,7 +103,9 @@ int64_t sgmOps(int width, int height, const SgmParams &params);
  * wavefront parallelism *inside* each directional pass (independent
  * rows, column strips, or diagonal row wavefronts), so it scales past
  * 8 workers and needs only O(row) scratch instead of one partial
- * volume per busy chunk.
+ * volume per busy chunk; the cost volume is transposed once to
+ * pixel-major so each pixel's recurrence runs through the dispatched
+ * asv::simd aggregateRow kernel (uint16 disparity lanes).
  */
 DisparityMap sgmCompute(const image::Image &left,
                         const image::Image &right,

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <tuple>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "deconv/transform.hh"
 #include "dnn/layer.hh"
 #include "tensor/deconv.hh"
@@ -159,6 +161,42 @@ TEST(Functional, MatchesReferenceOnPaperExample)
     Tensor got = transformedDeconv(in, w, spec);
     EXPECT_TRUE(got.allClose(ref, 1e-5))
         << "max diff " << got.maxAbsDiff(ref);
+}
+
+TEST(Functional, ExecContextBitIdenticalToSerial)
+{
+    // The threaded transform (sub-convs on the pool, crop/gather
+    // fanned over channels) must be bit-identical to the serial
+    // path — including the op-count stats — for any worker count.
+    Rng rng(13);
+    // k5 s3 p2 with a non-square input exercises one-sided crops
+    // and pads, i.e. both parallelized data-movement loops.
+    Tensor in = randomTensor({3, 9, 7}, rng);
+    Tensor w = randomTensor({4, 3, 5, 5}, rng);
+    DeconvSpec spec = DeconvSpec::uniform(2, 3, 2);
+
+    asv::ThreadPool serial(1), pool(4);
+    ConvStats serial_stats, pool_stats;
+    Tensor ref = transformedDeconv(in, w, spec, &serial_stats,
+                                   asv::ExecContext(serial));
+    Tensor got = transformedDeconv(in, w, spec, &pool_stats,
+                                   asv::ExecContext(pool));
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (int64_t i = 0; i < numElems(ref.shape()); ++i) {
+        ASSERT_EQ(std::bit_cast<uint32_t>(ref.flat()[i]),
+                  std::bit_cast<uint32_t>(got.flat()[i]))
+            << "flat index " << i;
+    }
+    EXPECT_EQ(serial_stats.totalOps, pool_stats.totalOps);
+    EXPECT_EQ(serial_stats.zeroOps, pool_stats.zeroOps);
+
+    // The legacy global-pool signature stays bit-identical too.
+    Tensor legacy = transformedDeconv(in, w, spec);
+    for (int64_t i = 0; i < numElems(ref.shape()); ++i) {
+        ASSERT_EQ(std::bit_cast<uint32_t>(ref.flat()[i]),
+                  std::bit_cast<uint32_t>(legacy.flat()[i]))
+            << "flat index " << i;
+    }
 }
 
 TEST(Functional, TransformSavesOpsVsNaive)

@@ -215,6 +215,112 @@ TEST(SimdKernels, SadSpanMatchesScalarOnOddSpans)
     }
 }
 
+/**
+ * Drive one aggregateRow call per level against the scalar table and
+ * compare cur, total, the returned min, and the sentinel slots.
+ * Buffers follow the kernel contract: prev has 0xFFFF sentinels at
+ * [-1] and [nd], prev_min is the true minimum of prev.
+ */
+void
+checkAggregateRow(const std::vector<uint16_t> &cost,
+                  const std::vector<uint16_t> &prev_padded, int nd,
+                  uint16_t p1, uint16_t p2, const char *what)
+{
+    ASSERT_EQ(int(cost.size()), nd);
+    ASSERT_EQ(int(prev_padded.size()), nd + 2);
+    ASSERT_EQ(prev_padded.front(), 0xFFFF);
+    ASSERT_EQ(prev_padded.back(), 0xFFFF);
+    const uint16_t *prev = prev_padded.data() + 1;
+    const uint16_t prev_min =
+        *std::min_element(prev, prev + nd);
+
+    const simd::Kernels *scalar =
+        simd::kernelsFor(simd::Level::Scalar);
+    ASSERT_NE(scalar, nullptr);
+    std::vector<uint16_t> ref_cur(nd + 2, 0xFFFF);
+    std::vector<uint32_t> ref_total(nd);
+    for (int d = 0; d < nd; ++d)
+        ref_total[d] = uint32_t(d) * 977u; // nonzero accumulators
+    const uint16_t ref_min = scalar->aggregateRow(
+        cost.data(), prev, prev_min, nd, p1, p2,
+        ref_cur.data() + 1, ref_total.data());
+
+    for (simd::Level level : supportedLevels()) {
+        const simd::Kernels *k = simd::kernelsFor(level);
+        ASSERT_NE(k, nullptr);
+        std::vector<uint16_t> cur(nd + 2, 0xFFFF);
+        std::vector<uint32_t> total(nd);
+        for (int d = 0; d < nd; ++d)
+            total[d] = uint32_t(d) * 977u;
+        const uint16_t got_min =
+            k->aggregateRow(cost.data(), prev, prev_min, nd, p1, p2,
+                            cur.data() + 1, total.data());
+        EXPECT_EQ(ref_min, got_min)
+            << simd::levelName(level) << " " << what;
+        EXPECT_EQ(ref_cur, cur)
+            << simd::levelName(level) << " " << what;
+        EXPECT_EQ(ref_total, total)
+            << simd::levelName(level) << " " << what;
+        // The kernel must never touch the caller's sentinels.
+        EXPECT_EQ(cur.front(), 0xFFFF) << what;
+        EXPECT_EQ(cur.back(), 0xFFFF) << what;
+    }
+}
+
+TEST(SimdKernels, AggregateRowMatchesScalarOnOddLaneCounts)
+{
+    Rng rng(13);
+    // nd values straddling the 8- and 16-lane widths, including the
+    // single-disparity degenerate case and non-multiples of both.
+    for (int nd : {1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 65,
+                   100}) {
+        std::vector<uint16_t> cost(nd), prev(nd + 2, 0xFFFF);
+        for (int d = 0; d < nd; ++d) {
+            cost[d] = uint16_t(rng.uniformInt(0, 200));
+            prev[d + 1] = uint16_t(rng.uniformInt(0, 4000));
+        }
+        checkAggregateRow(cost, prev, nd, 3, 40, "odd lanes");
+        checkAggregateRow(cost, prev, nd, 0, 0, "zero penalties");
+    }
+}
+
+TEST(SimdKernels, AggregateRowSaturatesNearUint16Max)
+{
+    Rng rng(14);
+    // Costs and previous path values near the ceiling force the
+    // sat16 clamp, and ceiling penalties force the saturating adds
+    // on the neighbor/p2 candidates — the exact paths where a
+    // non-saturating vector add would diverge from the scalar
+    // clamped-uint32 order.
+    for (int nd : {5, 16, 23, 64}) {
+        for (const auto &[p1, p2] :
+             {std::pair<uint16_t, uint16_t>{3, 40},
+              {1000, 60000},
+              {0xFFFF, 0xFFFF}}) {
+            std::vector<uint16_t> cost(nd), prev(nd + 2, 0xFFFF);
+            for (int d = 0; d < nd; ++d) {
+                cost[d] =
+                    uint16_t(rng.uniformInt(0xFFF0, 0xFFFF));
+                prev[d + 1] =
+                    uint16_t(rng.uniformInt(0xFF00, 0xFFFF));
+            }
+            checkAggregateRow(cost, prev, nd, p1, p2, "saturation");
+        }
+    }
+}
+
+TEST(SimdKernels, AggregateRowSingleDisparityDegenerate)
+{
+    // nd == 1: no neighbors at all — only the prev_min + p2 candidate
+    // competes with prev[0], and every vector body must fall through
+    // to the shared scalar tail.
+    for (uint16_t c : {uint16_t(0), uint16_t(7), uint16_t(0xFFFF)}) {
+        std::vector<uint16_t> cost{c};
+        std::vector<uint16_t> prev{0xFFFF, 42, 0xFFFF};
+        checkAggregateRow(cost, prev, 1, 3, 40, "nd=1");
+    }
+}
+
 // -------------------------------------------------------- pipeline level
 
 TEST(SimdProperty, CensusBitIdenticalAcrossLevelsAndRadii)
@@ -527,6 +633,45 @@ TEST(WavefrontSgm, MatchesDirectionalReference)
             const auto got = stereo::sgmCompute(left, right, params);
             expectBitIdentical(ref, got, "wavefront vs directional");
         }
+    }
+}
+
+TEST(WavefrontSgm, SingleDisparityDegenerate)
+{
+    // maxDisparity == 0 (nd == 1): the aggregation recurrence has no
+    // neighbor candidates and WTA has nothing to argmin over; every
+    // level must still agree with the directional reference.
+    Rng rng(33);
+    const image::Image left = randomImage(21, 11, rng);
+    const image::Image right = shiftedImage(left, 0, rng);
+    stereo::SgmParams params;
+    params.maxDisparity = 0;
+    const auto ref = referenceSgm(left, right, params);
+    for (simd::Level level : supportedLevels()) {
+        LevelGuard guard(level);
+        const auto got = stereo::sgmCompute(left, right, params);
+        expectBitIdentical(ref, got, "single disparity");
+    }
+}
+
+TEST(WavefrontSgm, PenaltiesAboveUint16CeilingMatchReference)
+{
+    // sgmCompute clamps p1/p2 to 0xFFFF before entering the kernels;
+    // a penalty above the ceiling can never win the min against
+    // prev[d] <= 0xFFFF, so the unclamped uint32 reference must
+    // agree bit for bit.
+    Rng rng(34);
+    const image::Image left = randomImage(19, 15, rng);
+    const image::Image right = shiftedImage(left, 2, rng);
+    stereo::SgmParams params;
+    params.maxDisparity = 13;
+    params.p1 = 70000;
+    params.p2 = 200000;
+    const auto ref = referenceSgm(left, right, params);
+    for (simd::Level level : supportedLevels()) {
+        LevelGuard guard(level);
+        const auto got = stereo::sgmCompute(left, right, params);
+        expectBitIdentical(ref, got, "huge penalties");
     }
 }
 
