@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the library sources using
+# the compile_commands.json of an existing build directory.
+#
+#   scripts/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir defaults to ./build and must have been configured
+# already (CMAKE_EXPORT_COMPILE_COMMANDS is always on — see
+# CMakeLists.txt). Scope is src/**/*.cc: tests and benches follow the
+# same rules but depend on gtest/benchmark headers that are not
+# tidy-clean, so the gate covers the shipped library.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "error: $BUILD_DIR/compile_commands.json not found;" \
+         "configure first: cmake -B $BUILD_DIR -S ." >&2
+    exit 2
+fi
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null; then
+    echo "error: $TIDY not found (set CLANG_TIDY to override)" >&2
+    exit 2
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+echo "clang-tidy ($("$TIDY" --version | head -1)) over" \
+     "${#SOURCES[@]} files"
+
+# run-clang-tidy parallelizes when available; otherwise run serially.
+if command -v run-clang-tidy >/dev/null; then
+    run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" \
+        -quiet "$@" "${SOURCES[@]}"
+else
+    "$TIDY" -p "$BUILD_DIR" --quiet "$@" "${SOURCES[@]}"
+fi
+echo "clang-tidy: clean"

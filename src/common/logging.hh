@@ -18,12 +18,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <utility>
 
 namespace asv
 {
+
+/**
+ * Redirect warn()/inform() output (e.g. to capture diagnostics in
+ * tests). The sink is invoked with the severity ("warn"/"info") and
+ * the formatted message, serialized under the logging mutex — it may
+ * be called from any thread but never concurrently. Pass nullptr to
+ * restore the default stderr/stdout sink. panic()/fatal() always
+ * write to stderr (the process is dying) and are not redirected.
+ */
+using LogSink = std::function<void(const char *severity,
+                                   const std::string &msg)>;
+void setLogSink(LogSink sink);
 
 namespace detail
 {

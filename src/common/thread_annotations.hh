@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Clang thread-safety annotations and an annotated mutex wrapper.
+ *
+ * The concurrency contracts in this tree — ThreadPool's queue,
+ * StreamPipeline's in-flight accounting, the matcher registry, the
+ * oracle's serialized Rng, the log sink — were previously enforced by
+ * comments. These macros make them machine-checked: under clang the
+ * build runs with `-Wthread-safety -Werror=thread-safety`, so reading
+ * a guarded member without its mutex, or releasing a lock twice, is a
+ * compile error. Under gcc every macro expands to nothing.
+ *
+ * Usage pattern (see thread_pool.hh for the canonical example):
+ *
+ *     Mutex mutex_;
+ *     std::deque<Task> tasks_ ASV_GUARDED_BY(mutex_);
+ *
+ *     void push(Task t) {
+ *         MutexLock lock(mutex_);   // scoped capability
+ *         tasks_.push_back(std::move(t));
+ *     }
+ *
+ * Condition variables: MutexLock wraps a std::unique_lock over the
+ * native std::mutex, so `lock.wait(cv)` works with a plain
+ * std::condition_variable. Write waits as explicit while-loops — the
+ * predicate then sits in the scope where the analysis knows the lock
+ * is held, instead of in a lambda it analyses separately:
+ *
+ *     MutexLock lock(mutex_);
+ *     while (!ready_)
+ *         lock.wait(cv_);
+ *
+ * The macro set follows the capability vocabulary of the clang
+ * analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html);
+ * the ASV_ prefix keeps it collision-free.
+ */
+
+#ifndef ASV_COMMON_THREAD_ANNOTATIONS_HH
+#define ASV_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ASV_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ASV_THREAD_ANNOTATION
+#define ASV_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define ASV_CAPABILITY(x) ASV_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define ASV_SCOPED_CAPABILITY ASV_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define ASV_GUARDED_BY(x) ASV_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by @p x. */
+#define ASV_PT_GUARDED_BY(x) ASV_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function may only be called while holding the capabilities. */
+#define ASV_REQUIRES(...) \
+    ASV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capability (and does not release it). */
+#define ASV_ACQUIRE(...) \
+    ASV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define ASV_RELEASE(...) \
+    ASV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p ret. */
+#define ASV_TRY_ACQUIRE(...) \
+    ASV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function must NOT be called while holding the capabilities
+ *  (deadlock prevention for self-locking public APIs). */
+#define ASV_EXCLUDES(...) \
+    ASV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Assert (at analysis level) that the capability is held here. */
+#define ASV_ASSERT_CAPABILITY(x) \
+    ASV_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define ASV_RETURN_CAPABILITY(x) ASV_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disable the analysis for one function. */
+#define ASV_NO_THREAD_SAFETY_ANALYSIS \
+    ASV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace asv
+{
+
+/**
+ * std::mutex with the capability annotation the clang analysis needs.
+ * Satisfies Lockable, so std::scoped_lock et al. still work — but
+ * prefer MutexLock below: unannotated lockers leave the analysis
+ * blind to the acquire, and every guarded access in their scope
+ * becomes a -Wthread-safety error under clang.
+ */
+class ASV_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ASV_ACQUIRE() { m_.lock(); }
+    void unlock() ASV_RELEASE() { m_.unlock(); }
+    bool try_lock() ASV_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** The wrapped mutex, for interop (condition variables). */
+    std::mutex &native() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * Scoped lock over Mutex, annotated as ASV_SCOPED_CAPABILITY and
+ * backed by a std::unique_lock<std::mutex> so it plugs into
+ * std::condition_variable via wait()/native().
+ */
+class ASV_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) ASV_ACQUIRE(m) : lock_(m.native()) {}
+    ~MutexLock() ASV_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /**
+     * Block on @p cv; the mutex is released while waiting and held
+     * again on return. The analysis treats the capability as held
+     * throughout, which matches what the caller's predicate loop
+     * observes on either side of the call.
+     */
+    void wait(std::condition_variable &cv) { cv.wait(lock_); }
+
+    /** The underlying unique_lock, for condition-variable interop. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace asv
+
+#endif // ASV_COMMON_THREAD_ANNOTATIONS_HH

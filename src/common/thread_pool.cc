@@ -24,8 +24,8 @@ namespace
  */
 thread_local const ThreadPool *t_workerOf = nullptr;
 
-std::mutex g_globalMutex;
-std::unique_ptr<ThreadPool> g_globalPool;
+Mutex g_globalMutex;
+std::unique_ptr<ThreadPool> g_globalPool ASV_GUARDED_BY(g_globalMutex);
 
 } // namespace
 
@@ -41,7 +41,7 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -56,9 +56,12 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [this] { return stop_ || !tasks_.empty(); });
+            MutexLock lock(mutex_);
+            // Explicit predicate loop (not the lambda-predicate
+            // overload): the guarded reads sit in this scope, where
+            // the thread-safety analysis knows the lock is held.
+            while (!stop_ && tasks_.empty())
+                lock.wait(wake_);
             if (tasks_.empty()) {
                 if (stop_)
                     return;
@@ -119,20 +122,21 @@ ThreadPool::parallelForChunks(
     // latch must be fully drained before this frame unwinds — the
     // queued tasks capture these locals by reference — so exceptions
     // (from any chunk) are parked in an exception_ptr and rethrown
-    // only after every chunk finished.
-    std::mutex done_mutex;
+    // only after every chunk finished. (Locals cannot carry
+    // ASV_GUARDED_BY; done_mutex guards pending and error.)
+    Mutex done_mutex;
     std::condition_variable done_cv;
     int pending = nc - 1;
     std::exception_ptr error;
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (int c = 1; c < nc; ++c) {
             tasks_.emplace_back([&, c] {
                 try {
                     body(chunks[c].first, chunks[c].second, c);
                 } catch (...) {
-                    std::lock_guard<std::mutex> dl(done_mutex);
+                    MutexLock dl(done_mutex);
                     if (!error)
                         error = std::current_exception();
                 }
@@ -141,7 +145,7 @@ ThreadPool::parallelForChunks(
                     // only unwind (destroying the latch) after
                     // acquiring done_mutex, so no worker can touch
                     // done_cv after it is destroyed.
-                    std::lock_guard<std::mutex> dl(done_mutex);
+                    MutexLock dl(done_mutex);
                     --pending;
                     done_cv.notify_one();
                 }
@@ -154,14 +158,15 @@ ThreadPool::parallelForChunks(
     try {
         body(chunks[0].first, chunks[0].second, 0);
     } catch (...) {
-        std::lock_guard<std::mutex> dl(done_mutex);
+        MutexLock dl(done_mutex);
         if (!error)
             error = std::current_exception();
     }
 
     {
-        std::unique_lock<std::mutex> dl(done_mutex);
-        done_cv.wait(dl, [&] { return pending == 0; });
+        MutexLock dl(done_mutex);
+        while (pending != 0)
+            dl.wait(done_cv);
     }
     if (error)
         std::rethrow_exception(error);
@@ -184,7 +189,7 @@ ThreadPool::defaultThreads()
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(g_globalMutex);
+    MutexLock lock(g_globalMutex);
     if (!g_globalPool)
         g_globalPool = std::make_unique<ThreadPool>(0);
     return *g_globalPool;
@@ -193,7 +198,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreads(int threads)
 {
-    std::lock_guard<std::mutex> lock(g_globalMutex);
+    MutexLock lock(g_globalMutex);
     g_globalPool = std::make_unique<ThreadPool>(threads);
 }
 

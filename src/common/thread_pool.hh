@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hh"
+
 namespace asv
 {
 
@@ -110,7 +112,7 @@ class ThreadPool
         std::future<R> future = task->get_future();
         bool inline_run;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             inline_run = workers_.empty() || stop_;
             if (!inline_run)
                 tasks_.emplace_back([task] { (*task)(); });
@@ -145,13 +147,14 @@ class ThreadPool
   private:
     void workerLoop();
 
+    // Set in the constructor, immutable afterwards.
     int numThreads_ = 1;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
+    Mutex mutex_;
     std::condition_variable wake_;
-    std::deque<std::function<void()>> tasks_;
-    bool stop_ = false;
+    std::deque<std::function<void()>> tasks_ ASV_GUARDED_BY(mutex_);
+    bool stop_ ASV_GUARDED_BY(mutex_) = false;
 };
 
 /** parallelFor() on the global pool. */

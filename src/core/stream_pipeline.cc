@@ -88,7 +88,7 @@ void
 StreamPipeline::markFrameComplete()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++completed_;
     }
     backpressure_.notify_all();
@@ -97,7 +97,7 @@ StreamPipeline::markFrameComplete()
 int
 StreamPipeline::inFlight() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<int>(submitted_ - completed_);
 }
 
@@ -114,10 +114,9 @@ StreamPipeline::submit(const image::Image &left,
     // of this thread, so the wait always terminates.
     int64_t ticket;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        backpressure_.wait(lock, [&] {
-            return submitted_ - completed_ < maxInFlight_;
-        });
+        MutexLock lock(mutex_);
+        while (submitted_ - completed_ >= maxInFlight_)
+            lock.wait(backpressure_);
         ticket = submitted_++;
     }
 
@@ -255,7 +254,7 @@ StreamPipeline::reset()
     slots_.clear();
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // Every frame's final stage has retired (its future is
         // ready), so the counters are quiescent.
         submitted_ = 0;

@@ -68,6 +68,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/thread_pool.hh"
 #include "core/ism.hh"
 #include "core/sequencer.hh"
@@ -211,7 +212,11 @@ class StreamPipeline
     // invalid prevDisparity_ future plays the serial pipeline's
     // "prevDisparity_.empty()" role. Frames are snapshotted once
     // per submit into shared immutable images so the stage lambdas
-    // capture pointers, not deep copies.
+    // capture pointers, not deep copies. Driver-thread-only by the
+    // single-driver API contract (workers only ever see the
+    // shared_ptr/shared_future copies the stage lambdas captured),
+    // so none of it is mutex-protected — mutex_ below guards exactly
+    // the state the workers write.
     int64_t frameIndex_ = 0;
     std::shared_ptr<const image::Image> prevLeft_;
     std::shared_ptr<const image::Image> prevRight_;
@@ -221,10 +226,12 @@ class StreamPipeline
     std::deque<Slot> slots_;
 
     // Shared with workers: completion accounting for backpressure.
-    mutable std::mutex mutex_;
+    // submitted_ - completed_ = frames in flight; submit() waits on
+    // backpressure_ until it drops below maxInFlight_.
+    mutable Mutex mutex_;
     std::condition_variable backpressure_;
-    int64_t submitted_ = 0;
-    int64_t completed_ = 0;
+    int64_t submitted_ ASV_GUARDED_BY(mutex_) = 0;
+    int64_t completed_ ASV_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace asv::core

@@ -102,22 +102,52 @@ oracleInference(const stereo::DisparityMap &gt,
 }
 
 OracleMatcher::OracleMatcher(OracleModel model, uint64_t seed)
-    : model_(std::move(model)), rng_(seed)
+    : model_(std::move(model)), seed_(seed)
 {
 }
 
 void
 OracleMatcher::bindGroundTruth(GroundTruthFn ground_truth)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     groundTruth_ = std::move(ground_truth);
 }
 
 void
 OracleMatcher::reseed(uint64_t seed)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    rng_ = Rng(seed);
+    MutexLock lock(mutex_);
+    seed_ = seed;
+}
+
+uint64_t
+OracleMatcher::perCallSeed(uint64_t seed,
+                           const stereo::DisparityMap &gt)
+{
+    // FNV-1a over the dimensions and raw disparity bytes...
+    uint64_t h = 0xcbf29ce484222325ull;
+    const auto mixByte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    };
+    const auto mixWord = [&](uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<unsigned char>(v >> (8 * i)));
+    };
+    mixWord(static_cast<uint64_t>(gt.width()));
+    mixWord(static_cast<uint64_t>(gt.height()));
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(gt.data());
+    const size_t nbytes = size_t(gt.size()) * sizeof(float);
+    for (size_t i = 0; i < nbytes; ++i)
+        mixByte(bytes[i]);
+    // ...mixed with the instance seed through a splitmix64 round so
+    // nearby seeds do not produce correlated noise streams.
+    uint64_t z = seed ^ h;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
 }
 
 stereo::DisparityMap
@@ -126,18 +156,26 @@ OracleMatcher::compute(const image::Image &left,
                        const ExecContext &ctx) const
 {
     (void)ctx; // the error process is sequential by construction
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!groundTruth_)
-        throw std::runtime_error(
-            "OracleMatcher: no ground-truth provider bound "
-            "(call bindGroundTruth() before compute())");
-    const stereo::DisparityMap gt = groundTruth_(left, right);
+    stereo::DisparityMap gt;
+    uint64_t seed;
+    {
+        // The provider runs under the lock (providers need not be
+        // thread-safe); hashing + inference run outside it.
+        MutexLock lock(mutex_);
+        if (!groundTruth_)
+            throw std::runtime_error(
+                "OracleMatcher: no ground-truth provider bound "
+                "(call bindGroundTruth() before compute())");
+        gt = groundTruth_(left, right);
+        seed = seed_;
+    }
     if (gt.empty() || gt.width() != left.width() ||
         gt.height() != left.height())
         throw std::runtime_error(
             "OracleMatcher: ground-truth provider returned a map "
             "that does not match the submitted pair");
-    return oracleInference(gt, model_, rng_);
+    Rng rng(perCallSeed(seed, gt));
+    return oracleInference(gt, model_, rng);
 }
 
 int64_t

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "common/rng.hh"
+#include "common/thread_annotations.hh"
 #include "stereo/disparity.hh"
 #include "stereo/matcher.hh"
 
@@ -75,12 +76,23 @@ stereo::DisparityMap oracleInference(const stereo::DisparityMap &gt,
  *
  * compute() throws std::runtime_error when unbound.
  *
- * Thread safety: the error process draws from one internal Rng, so
- * concurrent calls are serialized by a mutex (memory-safe under
- * StreamPipeline's concurrent key frames). The noise stream depends
- * on call order; runs are reproducible whenever key-frame compute
- * order is — which holds for any serial pipeline and for a stream
- * whose key frames never overlap.
+ * Thread safety and determinism: compute() is *per-call
+ * deterministic* — the error process draws from a fresh Rng seeded
+ * by mixing the instance seed with a content hash of the pair's
+ * ground truth (perCallSeed()), so the result depends only on
+ * (seed, model, ground truth), never on how many compute() calls ran
+ * before or on which thread. Under StreamPipeline's concurrent key
+ * frames this makes the streamed results bit-identical to the serial
+ * loop regardless of completion order. (The pre-PR-6 design
+ * serialized one shared Rng behind the mutex, which made concurrent
+ * key-frame results order-dependent.) Two key frames with an
+ * identical ground-truth map receive identical noise — acceptable
+ * for an error-model stand-in, and the price of order-independence.
+ *
+ * The mutex serializes access to the bound provider and the seed:
+ * the provider is invoked under the lock (providers need not be
+ * thread-safe), while hashing and the noise process run outside it,
+ * so concurrent key frames overlap on the expensive part.
  */
 class OracleMatcher final : public stereo::Matcher
 {
@@ -107,11 +119,21 @@ class OracleMatcher final : public stereo::Matcher
     /** Restore the noise stream to its post-construction state. */
     void reseed(uint64_t seed);
 
+    /**
+     * The seed compute() uses for a given ground-truth map: the
+     * instance seed mixed (splitmix64) with an FNV-1a hash of the
+     * map's dimensions and disparity bytes. Exposed so tests can pin
+     * the per-call-deterministic semantics against a direct
+     * oracleInference() call.
+     */
+    static uint64_t perCallSeed(uint64_t seed,
+                                const stereo::DisparityMap &gt);
+
   private:
     OracleModel model_;
-    GroundTruthFn groundTruth_;
-    mutable std::mutex mutex_;
-    mutable Rng rng_;
+    mutable Mutex mutex_;
+    GroundTruthFn groundTruth_ ASV_GUARDED_BY(mutex_);
+    uint64_t seed_ ASV_GUARDED_BY(mutex_);
 };
 
 /**

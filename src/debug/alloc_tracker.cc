@@ -1,0 +1,318 @@
+#include "debug/alloc_tracker.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "common/logging.hh"
+
+namespace asv::debug
+{
+
+namespace
+{
+
+// Monotonic process-wide counters. Relaxed ordering is sufficient:
+// scopes only read them after a happens-before edge with the
+// measured work (thread join, future.get(), parallelFor return), so
+// the deltas are exact for any completed workload.
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+std::atomic<int> g_enabled{0};
+
+std::atomic<bool> g_abortOnViolation{true};
+std::atomic<uint64_t> g_violations{0};
+
+} // namespace
+
+// Referenced from the global operator new/delete definitions below,
+// so these helpers need namespace-scope names (not the anonymous
+// namespace the counters hide in).
+namespace detail_alloc
+{
+
+inline void
+noteAlloc(std::size_t size)
+{
+    if (g_enabled.load(std::memory_order_relaxed) > 0) {
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+        g_bytes.fetch_add(size, std::memory_order_relaxed);
+    }
+}
+
+inline void
+noteFree(void *ptr)
+{
+    if (ptr && g_enabled.load(std::memory_order_relaxed) > 0)
+        g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void *
+allocate(std::size_t size)
+{
+    noteAlloc(size);
+    // malloc(0) may return nullptr; operator new must not.
+    void *p = std::malloc(size ? size : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+allocateAligned(std::size_t size, std::size_t align)
+{
+    noteAlloc(size);
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const std::size_t rounded = (size + align - 1) / align * align;
+    void *p = std::aligned_alloc(align, rounded ? rounded : align);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace detail_alloc
+
+void
+AllocTracker::enable()
+{
+    g_enabled.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+AllocTracker::disable()
+{
+    const int prev = g_enabled.fetch_sub(1, std::memory_order_relaxed);
+    panic_if(prev <= 0, "AllocTracker::disable() without enable()");
+}
+
+bool
+AllocTracker::enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed) > 0;
+}
+
+AllocCounts
+AllocTracker::totals()
+{
+    return {g_allocs.load(std::memory_order_relaxed),
+            g_frees.load(std::memory_order_relaxed),
+            g_bytes.load(std::memory_order_relaxed)};
+}
+
+AllocScope::AllocScope()
+{
+    AllocTracker::enable();
+    start_ = AllocTracker::totals();
+}
+
+AllocScope::~AllocScope()
+{
+    AllocTracker::disable();
+}
+
+AllocCounts
+AllocScope::counts() const
+{
+    return AllocTracker::totals() - start_;
+}
+
+NoAllocGuard::NoAllocGuard(const char *file, int line)
+    : file_(file), line_(line)
+{
+}
+
+NoAllocGuard::~NoAllocGuard()
+{
+    const uint64_t allocs = scope_.counts().allocs;
+    if (allocs == 0)
+        return;
+    if (g_abortOnViolation.load(std::memory_order_relaxed)) {
+        // fprintf, not panic(): the report path must not itself
+        // allocate while the contract it reports on is still live.
+        std::fprintf(stderr,
+                     "panic: ASV_ASSERT_NO_ALLOC violated: %llu "
+                     "allocation(s) in scope\n @ %s:%d\n",
+                     static_cast<unsigned long long>(allocs), file_,
+                     line_);
+        std::abort();
+    }
+    g_violations.fetch_add(1, std::memory_order_relaxed);
+    detail::warnImpl(file_, line_,
+                     "ASV_ASSERT_NO_ALLOC violated: " +
+                         std::to_string(allocs) +
+                         " allocation(s) in scope");
+}
+
+void
+NoAllocGuard::setAbortOnViolation(bool abort_on_violation)
+{
+    g_abortOnViolation.store(abort_on_violation,
+                             std::memory_order_relaxed);
+}
+
+uint64_t
+NoAllocGuard::violationCount()
+{
+    return g_violations.load(std::memory_order_relaxed);
+}
+
+} // namespace asv::debug
+
+// ------------------------------------------------------------------
+// Global allocator replacement (C++17 family). Kept in this TU so
+// the hooks are linked exactly into binaries that use the tracker
+// API; the rest of the world keeps the libc allocator. All variants
+// funnel through malloc/aligned_alloc + free, which glibc allows to
+// mix freely.
+
+void *
+operator new(std::size_t size)
+{
+    return asv::debug::detail_alloc::allocate(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return asv::debug::detail_alloc::allocate(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    asv::debug::detail_alloc::noteAlloc(size);
+    return std::malloc(size ? size : 1);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    asv::debug::detail_alloc::noteAlloc(size);
+    return std::malloc(size ? size : 1);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return asv::debug::detail_alloc::allocateAligned(
+        size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return asv::debug::detail_alloc::allocateAligned(
+        size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    try {
+        return asv::debug::detail_alloc::allocateAligned(
+            size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    try {
+        return asv::debug::detail_alloc::allocateAligned(
+            size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, const std::nothrow_t &) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, const std::nothrow_t &) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t,
+                const std::nothrow_t &) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    asv::debug::detail_alloc::noteFree(ptr);
+    std::free(ptr);
+}

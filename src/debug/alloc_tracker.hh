@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Allocation-contract instrumentation: global new/delete hooks,
+ * scoped counters, and a no-allocation assertion guard.
+ *
+ * The ROADMAP's zero-allocation steady state (BufferPool / arena
+ * recycling) can only be claimed if it is *measured*: this is the
+ * measurement harness. Real-time audio engines gate their processing
+ * paths the same way (krate-audio asserts real-time safety with a
+ * counting allocator); here the per-frame steady-state allocation
+ * counts of every registry engine are recorded into a committed
+ * baseline (BASELINE_alloc.json) that CI diffs, so an accidental
+ * allocation in a hot loop fails the build before it costs
+ * throughput under frames-in-flight allocator contention.
+ *
+ * How it works: alloc_tracker.cc replaces the global operator
+ * new/delete family. When tracking is disabled — the default — the
+ * hooks cost one relaxed atomic load per allocation and count
+ * nothing. Tracking is enabled by refcount (AllocTracker::enable(),
+ * or just constructing an AllocScope); while enabled, every
+ * allocation and deallocation on *any* thread increments the global
+ * counters, so a scope's delta attributes pool-worker allocations to
+ * the frame that caused them (cross-thread attribution — exactly
+ * what a parallelFor fan-out needs). The counters are process-wide:
+ * keep unrelated threads quiet while measuring, or their allocations
+ * land in your scope.
+ *
+ * Linker note: the hooks live in the same translation unit as the
+ * tracker API, so only binaries that reference the tracker get the
+ * replaced operators; everything else keeps the libc allocator.
+ *
+ *     asv::debug::AllocScope scope;
+ *     auto d = matcher->compute(l, r, ctx);
+ *     inform("frame allocated ", scope.counts().allocs, " times");
+ *
+ *     { ASV_ASSERT_NO_ALLOC; steadyStateHotLoop(); }  // panics on alloc
+ */
+
+#ifndef ASV_DEBUG_ALLOC_TRACKER_HH
+#define ASV_DEBUG_ALLOC_TRACKER_HH
+
+#include <cstdint>
+
+namespace asv::debug
+{
+
+/** Snapshot of the global allocation counters. */
+struct AllocCounts
+{
+    uint64_t allocs = 0; //!< operator new calls
+    uint64_t frees = 0;  //!< operator delete calls (non-null)
+    uint64_t bytes = 0;  //!< total bytes requested from operator new
+
+    AllocCounts
+    operator-(const AllocCounts &o) const
+    {
+        return {allocs - o.allocs, frees - o.frees, bytes - o.bytes};
+    }
+};
+
+/** Global switchboard for the new/delete hooks. */
+class AllocTracker
+{
+  public:
+    /**
+     * Start counting (refcounted: tracking stays on until every
+     * enable() is matched by a disable()). Thread-safe.
+     */
+    static void enable();
+    static void disable();
+    static bool enabled();
+
+    /**
+     * Counters accumulated over every enabled period so far. Deltas
+     * between two snapshots taken inside one enabled period measure
+     * the allocations of the code between them, on all threads.
+     */
+    static AllocCounts totals();
+};
+
+/**
+ * RAII measurement scope: enables tracking for its lifetime and
+ * reports the counter delta since construction. Nests freely — an
+ * inner scope's allocations are part of the outer scope's delta.
+ */
+class AllocScope
+{
+  public:
+    AllocScope();
+    ~AllocScope();
+
+    AllocScope(const AllocScope &) = delete;
+    AllocScope &operator=(const AllocScope &) = delete;
+
+    /** Allocations (all threads) since this scope opened. */
+    AllocCounts counts() const;
+
+  private:
+    AllocCounts start_;
+};
+
+/**
+ * Asserts that no allocation happens while it is alive (the
+ * real-time-safety contract of a warm steady-state path). A
+ * violation panics by default; tests flip setAbortOnViolation(false)
+ * to observe violations as a warn() plus a bumped violationCount().
+ * Use through ASV_ASSERT_NO_ALLOC.
+ */
+class NoAllocGuard
+{
+  public:
+    NoAllocGuard(const char *file, int line);
+    ~NoAllocGuard();
+
+    NoAllocGuard(const NoAllocGuard &) = delete;
+    NoAllocGuard &operator=(const NoAllocGuard &) = delete;
+
+    /** Allocations observed so far inside this guard. */
+    uint64_t observed() const { return scope_.counts().allocs; }
+
+    /** Default true (panic on violation). */
+    static void setAbortOnViolation(bool abort_on_violation);
+
+    /** Violations observed with abort-on-violation off. */
+    static uint64_t violationCount();
+
+  private:
+    AllocScope scope_;
+    const char *file_;
+    int line_;
+};
+
+} // namespace asv::debug
+
+#define ASV_ALLOC_CONCAT2(a, b) a##b
+#define ASV_ALLOC_CONCAT(a, b) ASV_ALLOC_CONCAT2(a, b)
+
+/** Statement macro: no allocation allowed for the rest of the scope. */
+#define ASV_ASSERT_NO_ALLOC \
+    ::asv::debug::NoAllocGuard ASV_ALLOC_CONCAT( \
+        asv_no_alloc_guard_, __COUNTER__)(__FILE__, __LINE__)
+
+#endif // ASV_DEBUG_ALLOC_TRACKER_HH

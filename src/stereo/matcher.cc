@@ -319,6 +319,10 @@ class GuidedMatcher final : public Matcher
 
 MatcherRegistry::MatcherRegistry()
 {
+    // The lock is uncontended here (the object is not yet shared)
+    // but keeps the guarded-member writes visible to the
+    // thread-safety analysis without an escape hatch.
+    MutexLock lock(mutex_);
     // Built-in engines. The oracle factory is wired here too — a
     // deliberate upward reference into src/data (the registry is the
     // composition point where the layers meet). The alternative, a
@@ -380,21 +384,21 @@ MatcherRegistry::instance()
 void
 MatcherRegistry::add(const std::string &name, Factory factory)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     factories_[name] = std::move(factory);
 }
 
 bool
 MatcherRegistry::contains(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return factories_.count(name) != 0;
 }
 
 std::vector<std::string>
 MatcherRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto &[name, factory] : factories_)
@@ -406,9 +410,12 @@ std::shared_ptr<Matcher>
 MatcherRegistry::create(const std::string &name,
                         const std::string &options) const
 {
+    // The factory runs outside the lock: factories may recurse into
+    // the registry (wrapper engines), and option parsing has no
+    // business serializing concurrent create() calls.
     Factory factory;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = factories_.find(name);
         if (it == factories_.end()) {
             std::string known;

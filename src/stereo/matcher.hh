@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/exec_context.hh"
+#include "common/thread_annotations.hh"
 #include "image/image.hh"
 #include "stereo/disparity.hh"
 
@@ -170,8 +171,8 @@ class MatcherRegistry
   private:
     MatcherRegistry();
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Factory> factories_;
+    mutable Mutex mutex_;
+    std::map<std::string, Factory> factories_ ASV_GUARDED_BY(mutex_);
 };
 
 /**

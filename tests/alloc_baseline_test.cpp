@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Steady-state allocation-count regression gate.
+ *
+ * Measures, with asv::debug::AllocScope, how many heap allocations
+ * one warm compute() of each registry engine performs (BM, SGM, and
+ * the guided refiner on its guided path), and diffs the counts
+ * against the committed BASELINE_alloc.json. This is the measurement
+ * half of the ROADMAP's zero-allocation BufferPool item: when the
+ * pool lands, the baseline drops toward zero and this test is the
+ * proof; until then it catches accidental per-pixel allocations in
+ * hot loops (one alloc per pixel ≈ a 1000x jump — far outside the
+ * band).
+ *
+ * The band is deliberately loose (x1.5 + 64 up, x0.5 - 64 down):
+ * allocation counts are exact for a given libstdc++ but drift a few
+ * percent across standard-library versions (SSO thresholds, deque
+ * block sizes). A structural change lands far outside; refresh the
+ * baseline with:
+ *
+ *     ASV_ALLOC_BASELINE_WRITE=1 ./build/alloc_baseline_test
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.hh"
+#include "common/thread_pool.hh"
+#include "data/scene.hh"
+#include "debug/alloc_tracker.hh"
+#include "stereo/matcher.hh"
+
+namespace
+{
+
+using namespace asv;
+
+struct EngineBaseline
+{
+    uint64_t allocsPerFrame = 0;
+    uint64_t bytesPerFrame = 0;
+};
+
+std::string
+baselinePath()
+{
+    if (const char *env = std::getenv("ASV_ALLOC_BASELINE"))
+        return env;
+    return std::string(ASV_SOURCE_DIR) + "/BASELINE_alloc.json";
+}
+
+/** Minimal scanner for the flat baseline schema this test writes. */
+std::map<std::string, EngineBaseline>
+readBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    const auto numberAfter = [&text](size_t from, const char *key,
+                                     uint64_t &out) -> bool {
+        const size_t k = text.find(key, from);
+        if (k == std::string::npos)
+            return false;
+        size_t p = text.find(':', k);
+        if (p == std::string::npos)
+            return false;
+        ++p;
+        while (p < text.size() && std::isspace(text[p]))
+            ++p;
+        uint64_t v = 0;
+        bool any = false;
+        while (p < text.size() && std::isdigit(text[p])) {
+            v = v * 10 + uint64_t(text[p] - '0');
+            ++p;
+            any = true;
+        }
+        out = v;
+        return any;
+    };
+
+    std::map<std::string, EngineBaseline> out;
+    for (const char *engine : {"bm", "sgm", "guided"}) {
+        std::string key = "\"";
+        key += engine;
+        key += '"';
+        const size_t at = text.find(key);
+        if (at == std::string::npos)
+            continue;
+        EngineBaseline b;
+        if (numberAfter(at, "allocsPerFrame", b.allocsPerFrame) &&
+            numberAfter(at, "bytesPerFrame", b.bytesPerFrame))
+            out[engine] = b;
+    }
+    return out;
+}
+
+void
+writeBaseline(const std::string &path,
+              const std::map<std::string, EngineBaseline> &entries)
+{
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"_comment\": \"Steady-state per-frame heap-allocation "
+           "counts per registry engine (96x64 pair, maxDisparity=32, "
+           "2-worker pool). Diffed by alloc_baseline_test; refresh "
+           "with ASV_ALLOC_BASELINE_WRITE=1 "
+           "./build/alloc_baseline_test.\",\n";
+    size_t i = 0;
+    for (const auto &[name, b] : entries) {
+        out << "  \"" << name << "\": {\"allocsPerFrame\": "
+            << b.allocsPerFrame
+            << ", \"bytesPerFrame\": " << b.bytesPerFrame << "}"
+            << (++i == entries.size() ? "" : ",") << "\n";
+    }
+    out << "}\n";
+}
+
+/**
+ * The gate: a measured count is acceptable within a loose band
+ * around the committed baseline. Exposed as a function so the test
+ * below can also prove the negative (a simulated hot-loop allocation
+ * must land outside).
+ */
+bool
+withinBand(const EngineBaseline &measured, const EngineBaseline &base)
+{
+    const auto upper = [](uint64_t v) { return v + v / 2 + 64; };
+    const auto lower = [](uint64_t v) {
+        return v / 2 > 64 ? v / 2 - 64 : 0;
+    };
+    if (measured.allocsPerFrame > upper(base.allocsPerFrame))
+        return false;
+    if (measured.allocsPerFrame < lower(base.allocsPerFrame))
+        return false;
+    // Bytes are a coarser signal (vector growth policies differ
+    // more); gate only the blow-up direction.
+    if (measured.bytesPerFrame > 3 * base.bytesPerFrame + 4096)
+        return false;
+    return true;
+}
+
+/** Fixture: one scene pair + one pool shared by every measurement. */
+class AllocBaseline : public ::testing::Test
+{
+  protected:
+    static constexpr int kWarmFrames = 3;
+    static constexpr int kMeasuredFrames = 10;
+
+    AllocBaseline() : pool_(2), ctx_(pool_)
+    {
+        data::SceneConfig cfg;
+        cfg.width = 96;
+        cfg.height = 64;
+        cfg.numObjects = 3;
+        cfg.maxDisparity = 20.f;
+        seq_ = data::generateSequence(cfg, 1, 5);
+    }
+
+    const data::StereoFrame &frame() const { return seq_.frames[0]; }
+
+    /**
+     * Median per-frame counts of @p body over kMeasuredFrames warm
+     * iterations (after kWarmFrames discarded warm-up runs).
+     */
+    template <typename Fn>
+    EngineBaseline
+    measure(Fn &&body)
+    {
+        for (int i = 0; i < kWarmFrames; ++i)
+            body();
+        std::vector<uint64_t> allocs, bytes;
+        for (int i = 0; i < kMeasuredFrames; ++i) {
+            debug::AllocScope scope;
+            body();
+            const auto c = scope.counts();
+            allocs.push_back(c.allocs);
+            bytes.push_back(c.bytes);
+        }
+        std::sort(allocs.begin(), allocs.end());
+        std::sort(bytes.begin(), bytes.end());
+        // A warm engine must be allocation-stable frame over frame;
+        // drift here means hidden caching or leak-like growth.
+        EXPECT_LE(allocs.back() - allocs.front(),
+                  allocs.front() / 10 + 8)
+            << "per-frame allocation count is not steady";
+        return {allocs[allocs.size() / 2], bytes[bytes.size() / 2]};
+    }
+
+    std::map<std::string, EngineBaseline>
+    measureAll()
+    {
+        std::map<std::string, EngineBaseline> m;
+        const auto &f = frame();
+
+        auto bm = stereo::makeMatcher("bm",
+                                      "maxDisparity=32,blockRadius=2");
+        m["bm"] = measure([&] {
+            (void)bm->compute(f.left, f.right, ctx_);
+        });
+
+        auto sgm = stereo::makeMatcher("sgm", "maxDisparity=32");
+        m["sgm"] = measure([&] {
+            (void)sgm->compute(f.left, f.right, ctx_);
+        });
+
+        // The guided engine's production path is computeGuided()
+        // with a propagated estimate; guide with the ground truth.
+        auto guided = stereo::makeMatcher(
+            "guided", "maxDisparity=32,refineRadius=2");
+        m["guided"] = measure([&] {
+            (void)guided->computeGuided(f.left, f.right,
+                                        f.gtDisparity, ctx_);
+        });
+        return m;
+    }
+
+    data::StereoSequence seq_;
+    ThreadPool pool_;
+    ExecContext ctx_;
+};
+
+TEST_F(AllocBaseline, SteadyStateCountsMatchCommittedBaseline)
+{
+    const auto measured = measureAll();
+
+    if (std::getenv("ASV_ALLOC_BASELINE_WRITE")) {
+        writeBaseline(baselinePath(), measured);
+        std::printf("wrote %s\n", baselinePath().c_str());
+        for (const auto &[name, b] : measured)
+            std::printf("  %-6s allocsPerFrame=%llu bytesPerFrame=%llu\n",
+                        name.c_str(),
+                        (unsigned long long)b.allocsPerFrame,
+                        (unsigned long long)b.bytesPerFrame);
+        GTEST_SKIP() << "baseline regenerated, comparison skipped";
+    }
+
+    const auto baseline = readBaseline(baselinePath());
+    ASSERT_EQ(3u, baseline.size())
+        << "missing or unparsable " << baselinePath()
+        << " — regenerate with ASV_ALLOC_BASELINE_WRITE=1";
+
+    for (const auto &[name, base] : baseline) {
+        const auto &got = measured.at(name);
+        EXPECT_TRUE(withinBand(got, base))
+            << name << ": measured allocsPerFrame="
+            << got.allocsPerFrame << " bytesPerFrame="
+            << got.bytesPerFrame << " vs baseline allocsPerFrame="
+            << base.allocsPerFrame << " bytesPerFrame="
+            << base.bytesPerFrame
+            << " — an intentional change needs a baseline refresh "
+               "(ASV_ALLOC_BASELINE_WRITE=1)";
+    }
+}
+
+TEST_F(AllocBaseline, HotLoopAllocationWouldFailTheGate)
+{
+    // The property the acceptance criterion demands: an accidental
+    // per-pixel allocation in a hot loop must land outside the band.
+    // One alloc per pixel of the 96x64 test frame dwarfs the real
+    // count (dozens of buffer/task allocations per frame).
+    const auto baseline = readBaseline(baselinePath());
+    ASSERT_TRUE(baseline.count("sgm"));
+    EngineBaseline poisoned = baseline.at("sgm");
+    poisoned.allocsPerFrame += uint64_t(96) * 64;
+    EXPECT_FALSE(withinBand(poisoned, baseline.at("sgm")));
+
+    // And the real measurement itself must sit inside it (sanity
+    // that the previous test's PASS is not vacuous).
+    EngineBaseline honest = baseline.at("sgm");
+    EXPECT_TRUE(withinBand(honest, baseline.at("sgm")));
+}
+
+} // namespace

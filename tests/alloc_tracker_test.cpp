@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for asv::debug::AllocTracker: scoped counting, nesting,
+ * cross-thread attribution, zero overhead when disabled, and the
+ * ASV_ASSERT_NO_ALLOC guard in both abort and observe modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "debug/alloc_tracker.hh"
+
+namespace
+{
+
+using namespace asv;
+
+/**
+ * Keep the optimizer from eliding paired new/delete (C++14 allows
+ * removing allocations it can prove unobservable — which is exactly
+ * what a counting allocator wants to observe).
+ */
+void
+escape(void *p)
+{
+    asm volatile("" : : "r"(p) : "memory");
+}
+
+TEST(AllocTracker, DisabledTrackingCountsNothing)
+{
+    ASSERT_FALSE(debug::AllocTracker::enabled());
+    const auto before = debug::AllocTracker::totals();
+    for (int i = 0; i < 16; ++i) {
+        int *p = new int(i);
+        escape(p);
+        delete p;
+    }
+    const auto after = debug::AllocTracker::totals();
+    EXPECT_EQ(before.allocs, after.allocs);
+    EXPECT_EQ(before.frees, after.frees);
+    EXPECT_EQ(before.bytes, after.bytes);
+}
+
+TEST(AllocTracker, ScopeCountsAllocsFreesAndBytes)
+{
+    debug::AllocScope scope;
+    EXPECT_TRUE(debug::AllocTracker::enabled());
+    for (int i = 0; i < 10; ++i) {
+        int *p = new int(i);
+        escape(p);
+        delete p;
+    }
+    const auto c = scope.counts();
+    EXPECT_EQ(10u, c.allocs);
+    EXPECT_EQ(10u, c.frees);
+    EXPECT_GE(c.bytes, 10u * sizeof(int));
+}
+
+TEST(AllocTracker, ScopesNestAndEnableIsRefcounted)
+{
+    debug::AllocScope outer;
+    int *a = new int(1);
+    escape(a);
+    {
+        debug::AllocScope inner;
+        // The outer scope must stay enabled when the inner one
+        // closes (refcounted enable), and the inner delta must be
+        // part of the outer delta.
+        int *b = new int(2);
+        escape(b);
+        delete b;
+        EXPECT_EQ(1u, inner.counts().allocs);
+    }
+    EXPECT_TRUE(debug::AllocTracker::enabled());
+    delete a;
+    EXPECT_EQ(2u, outer.counts().allocs);
+    EXPECT_EQ(2u, outer.counts().frees);
+}
+
+TEST(AllocTracker, AttributesWorkerThreadAllocationsToTheScope)
+{
+    constexpr int kAllocs = 64;
+    debug::AllocScope scope;
+    std::thread worker([] {
+        for (int i = 0; i < kAllocs; ++i) {
+            int *p = new int(i);
+            escape(p);
+            delete p;
+        }
+    });
+    worker.join();
+    // >= because std::thread's own control block allocates too —
+    // which is itself correct attribution: the scope caused it.
+    EXPECT_GE(scope.counts().allocs, uint64_t(kAllocs));
+    EXPECT_GE(scope.counts().frees, uint64_t(kAllocs));
+}
+
+TEST(AllocTracker, ArrayAndAlignedFormsAreCounted)
+{
+    debug::AllocScope scope;
+    char *arr = new char[128];
+    escape(arr);
+    delete[] arr;
+    struct alignas(64) Wide
+    {
+        double v[8];
+    };
+    Wide *w = new Wide();
+    escape(w);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(w) % 64);
+    delete w;
+    const auto c = scope.counts();
+    EXPECT_EQ(2u, c.allocs);
+    EXPECT_EQ(2u, c.frees);
+    EXPECT_GE(c.bytes, 128u + sizeof(Wide));
+}
+
+TEST(NoAllocGuard, QuietScopePasses)
+{
+    debug::NoAllocGuard::setAbortOnViolation(false);
+    const uint64_t before = debug::NoAllocGuard::violationCount();
+    {
+        ASV_ASSERT_NO_ALLOC;
+        int x = 41;
+        x += 1;
+        (void)x;
+    }
+    EXPECT_EQ(before, debug::NoAllocGuard::violationCount());
+    debug::NoAllocGuard::setAbortOnViolation(true);
+}
+
+TEST(NoAllocGuard, ObservesViolationsWhenAbortDisabled)
+{
+    debug::NoAllocGuard::setAbortOnViolation(false);
+    const uint64_t before = debug::NoAllocGuard::violationCount();
+    {
+        debug::NoAllocGuard guard(__FILE__, __LINE__);
+        int *p = new int(7);
+        escape(p);
+        delete p;
+        EXPECT_EQ(1u, guard.observed());
+    }
+    EXPECT_EQ(before + 1, debug::NoAllocGuard::violationCount());
+    debug::NoAllocGuard::setAbortOnViolation(true);
+}
+
+TEST(NoAllocGuardDeathTest, AbortsOnViolationByDefault)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ASV_ASSERT_NO_ALLOC;
+            int *p = new int(13);
+            escape(p);
+            delete p;
+        },
+        "ASV_ASSERT_NO_ALLOC violated");
+}
+
+} // namespace

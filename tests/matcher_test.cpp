@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -213,12 +214,60 @@ TEST(MatcherAdapters, OracleBitIdentical)
         return f.gtDisparity;
     });
 
-    Rng rng(123);
+    // Per-call-deterministic semantics: the noise stream is a pure
+    // function of (seed, ground truth), derived via perCallSeed() —
+    // never of how many compute() calls ran before this one.
+    Rng rng(data::OracleMatcher::perCallSeed(123, f.gtDisparity));
     const auto direct = data::oracleInference(f.gtDisparity, model,
                                               rng);
     const auto viaApi =
         m->compute(f.left, f.right, ExecContext::global());
     expectBitIdentical(direct, viaApi, "oracle adapter");
+}
+
+TEST(MatcherAdapters, OracleComputeIsPerCallDeterministic)
+{
+    // Pins the concurrency semantics chosen in PR 6: compute()
+    // results depend only on (seed, model, ground truth), so
+    // concurrent key frames under StreamPipeline are order-
+    // independent. A repeated call returns a bit-identical map...
+    const data::StereoFrame fa = makeFrame(11);
+    const data::StereoFrame fb = makeFrame(31);
+
+    auto m = std::dynamic_pointer_cast<data::OracleMatcher>(
+        stereo::makeMatcher("oracle", "seed=77"));
+    ASSERT_NE(nullptr, m);
+    const data::StereoFrame *current = &fa;
+    m->bindGroundTruth([&](const image::Image &,
+                           const image::Image &) {
+        return current->gtDisparity;
+    });
+
+    const auto ctx = ExecContext::global();
+    const auto a1 = m->compute(fa.left, fa.right, ctx);
+    const auto a2 = m->compute(fa.left, fa.right, ctx);
+    expectBitIdentical(a1, a2, "repeated oracle compute");
+
+    // ...interleaving an unrelated frame does not perturb the
+    // stream (the pre-PR-6 shared-Rng design failed exactly this)...
+    current = &fb;
+    const auto b1 = m->compute(fb.left, fb.right, ctx);
+    current = &fa;
+    const auto a3 = m->compute(fa.left, fa.right, ctx);
+    expectBitIdentical(a1, a3, "order-independent oracle compute");
+
+    // ...different ground truth still gets an uncorrelated stream,
+    // and reseed() changes it.
+    EXPECT_NE(0, std::memcmp(a1.data(), b1.data(),
+                             size_t(std::min(a1.size(), b1.size())) *
+                                 sizeof(float)));
+    m->reseed(78);
+    const auto a4 = m->compute(fa.left, fa.right, ctx);
+    EXPECT_NE(0, std::memcmp(a1.data(), a4.data(),
+                             size_t(a1.size()) * sizeof(float)));
+    m->reseed(77);
+    const auto a5 = m->compute(fa.left, fa.right, ctx);
+    expectBitIdentical(a1, a5, "reseed restores the stream");
 }
 
 TEST(MatcherAdapters, OracleRequiresGroundTruth)
