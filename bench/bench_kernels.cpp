@@ -18,9 +18,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/exec_context.hh"
 #include "common/rng.hh"
 #include "common/simd.hh"
 #include "data/scene.hh"
+#include "debug/alloc_tracker.hh"
 #include "deconv/transform.hh"
 #include "flow/farneback.hh"
 #include "stereo/block_matching.hh"
@@ -137,6 +139,49 @@ BM_Sgm(benchmark::State &state)
 // compare ASV_THREADS=1 against ASV_THREADS=4+ (UseRealTime makes
 // the wall clock, not the calling thread's CPU time, the metric).
 BENCHMARK(BM_Sgm)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
+
+void
+BM_SteadyStateAlloc(benchmark::State &state)
+{
+    // The zero-allocation contract as a trajectory datapoint: heap
+    // allocations per warm SGM frame (the gate proper — exactly 0 —
+    // lives in alloc_baseline_test) and the arena hit rate once the
+    // shelves are populated. A hit rate falling away from ~1.0 means
+    // some hot path started asking the pool for shapes it never
+    // returns, i.e. recycling broke even if timings look fine.
+    Rng rng(10);
+    const int n = int(state.range(0));
+    image::Image left = data::makeTexture(n, n, 8.f, rng);
+    image::Image right = data::makeTexture(n, n, 8.f, rng);
+    stereo::SgmParams p;
+    p.maxDisparity = 32;
+
+    BufferPool buffers;
+    const ExecContext ctx(ThreadPool::global(), buffers);
+    for (int i = 0; i < 3; ++i) // populate the shelves
+        benchmark::DoNotOptimize(
+            stereo::sgmCompute(left, right, p, ctx));
+    const BufferPool::Stats warm = buffers.stats();
+
+    uint64_t allocs = 0, frames = 0;
+    for (auto _ : state) {
+        debug::AllocScope scope;
+        benchmark::DoNotOptimize(
+            stereo::sgmCompute(left, right, p, ctx));
+        allocs += scope.counts().allocs;
+        ++frames;
+    }
+
+    const BufferPool::Stats s = buffers.stats();
+    const uint64_t hits = s.hits - warm.hits;
+    const uint64_t misses = s.misses - warm.misses;
+    state.counters["allocs_per_frame"] = benchmark::Counter(
+        frames ? double(allocs) / double(frames) : 0.0);
+    state.counters["pool_hit_rate"] = benchmark::Counter(
+        hits + misses ? double(hits) / double(hits + misses) : 1.0);
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SteadyStateAlloc)->Arg(128)->UseRealTime();
 
 // --------------------------------------------------- SIMD level sweep
 //

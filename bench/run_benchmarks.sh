@@ -2,7 +2,10 @@
 # Run the kernel microbenchmarks, the frames-in-flight streaming
 # benchmark, and the engine-API dispatch-overhead benchmark, and
 # record the combined results as JSON, seeding the perf trajectory
-# tracked across PRs.
+# tracked across PRs. The kernel run includes BM_SteadyStateAlloc,
+# whose allocs_per_frame / pool_hit_rate counters record the
+# BufferPool zero-allocation contract alongside the timings (the
+# hard gate for it is alloc_baseline_test, not this script).
 #
 # Usage: bench/run_benchmarks.sh [--check|--check-only] [output.json]
 #   BUILD_DIR   build tree to use (default: build-bench, configured

@@ -5,20 +5,26 @@
  * Every hot kernel (SAD block matching, census/SGM, the reference
  * convolution, the image-ops pre-stages of ISM flow) takes a
  * `const ExecContext &` naming the thread pool it may fan work out
- * on. This replaces the implicit `ThreadPool::global()` reach-ins the
- * kernels used to perform: a pipeline's pool is an owned,
- * per-instance resource, which is what multi-tenant deployments need
- * — two pipelines sharing a process must be able to run on disjoint
- * pools with independent sizing, and a per-request pool must be
+ * on *and* the buffer pool it draws frame/scratch storage from. This
+ * replaces the implicit `ThreadPool::global()` reach-ins the kernels
+ * used to perform: a pipeline's pools are owned, per-instance
+ * resources, which is what multi-tenant deployments need — two
+ * pipelines sharing a process must be able to run on disjoint pools
+ * with independent sizing, and a per-request pool must be
  * expressible without touching process-global state.
  *
- * The context does not own the pool; the creator guarantees the pool
- * outlives every kernel call made with the context. Copying a
- * context is copying a pool reference.
+ * The context does not own either pool; the creator guarantees both
+ * outlive every kernel call made with the context. Copying a context
+ * is copying two pool references. The single-argument constructor
+ * pairs the given thread pool with the process-wide BufferPool, so
+ * call sites that predate the arena still recycle buffers.
  *
- * Determinism is unchanged: the pool's static partitioning makes all
- * kernel results bit-identical for any worker count, so switching a
- * call site between pools (or to `ExecContext::global()`) never
+ * Determinism is unchanged: the thread pool's static partitioning
+ * makes all kernel results bit-identical for any worker count, and
+ * buffer recycling only changes *where* storage comes from, never
+ * its contents as observed by the kernels (pooled buffers are
+ * re-initialized exactly as freshly allocated ones were). Switching
+ * a call site between pools (or to `ExecContext::global()`) never
  * changes output.
  */
 
@@ -26,54 +32,71 @@
 #define ASV_COMMON_EXEC_CONTEXT_HH
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
+#include "common/buffer_pool.hh"
 #include "common/thread_pool.hh"
 
 namespace asv
 {
 
-/** A borrowed thread pool handed explicitly through kernel APIs. */
+/** Borrowed thread + buffer pools handed explicitly through kernel
+ *  APIs. */
 class ExecContext
 {
   public:
-    /** Run on @p pool (not owned; must outlive the context's use). */
-    explicit ExecContext(ThreadPool &pool) : pool_(&pool) {}
+    /**
+     * Run on @p pool, drawing buffers from the process-wide
+     * BufferPool (not owned; must outlive the context's use).
+     */
+    explicit ExecContext(ThreadPool &pool)
+        : pool_(&pool), buffers_(&BufferPool::global())
+    {
+    }
+
+    /** Run on @p pool with buffers from @p buffers (neither owned). */
+    ExecContext(ThreadPool &pool, BufferPool &buffers)
+        : pool_(&pool), buffers_(&buffers)
+    {
+    }
 
     /**
-     * Context over the process-wide shared pool. This is the one
+     * Context over the process-wide shared pools. This is the one
      * sanctioned way to keep legacy free-function signatures working;
-     * new code should pass an instance-owned pool instead.
+     * new code should pass instance-owned pools instead.
      */
     static ExecContext
     global()
     {
-        return ExecContext(ThreadPool::global());
+        return ExecContext(ThreadPool::global(), BufferPool::global());
     }
 
     ThreadPool &pool() const { return *pool_; }
 
+    /** The arena kernels draw images/volumes/scratch from. */
+    BufferPool &buffers() const { return *buffers_; }
+
     int numThreads() const { return pool_->numThreads(); }
 
     /** parallelFor() on this context's pool. */
+    template <typename F>
     void
-    parallelFor(int64_t begin, int64_t end,
-                const std::function<void(int64_t, int64_t)> &body) const
+    parallelFor(int64_t begin, int64_t end, F &&body) const
     {
-        pool_->parallelFor(begin, end, body);
+        pool_->parallelFor(begin, end, std::forward<F>(body));
     }
 
     /** parallelForChunks() on this context's pool. */
+    template <typename F>
     void
-    parallelForChunks(
-        int64_t begin, int64_t end,
-        const std::function<void(int64_t, int64_t, int)> &body) const
+    parallelForChunks(int64_t begin, int64_t end, F &&body) const
     {
-        pool_->parallelForChunks(begin, end, body);
+        pool_->parallelForChunks(begin, end, std::forward<F>(body));
     }
 
   private:
     ThreadPool *pool_;
+    BufferPool *buffers_;
 };
 
 } // namespace asv

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -55,22 +56,36 @@ ThreadPool::workerLoop()
     t_workerOf = this;
     for (;;) {
         std::function<void()> task;
+        BulkJob *job = nullptr;
+        int chunk = -1;
         {
             MutexLock lock(mutex_);
             // Explicit predicate loop (not the lambda-predicate
             // overload): the guarded reads sit in this scope, where
             // the thread-safety analysis knows the lock is held.
-            while (!stop_ && tasks_.empty())
+            while (!stop_ && tasks_.empty() && bulkHead_ == nullptr)
                 lock.wait(wake_);
-            if (tasks_.empty()) {
-                if (stop_)
-                    return;
-                continue;
+            // Queued tasks before bulk chunks: the order chunk tasks
+            // historically entered the shared queue, and what the
+            // submit() FIFO dependency-safety contract describes. A
+            // parallelFor() never stalls on this: its caller claims
+            // the chunks no worker gets to.
+            if (!tasks_.empty()) {
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+            } else if (bulkHead_ != nullptr) {
+                job = bulkHead_;
+                chunk = job->nextChunk++;
+                if (job->nextChunk == job->nc)
+                    unlinkBulkLocked(job);
+            } else {
+                return; // stop_ set and nothing left to drain
             }
-            task = std::move(tasks_.front());
-            tasks_.pop_front();
         }
-        task();
+        if (job != nullptr)
+            runBulkChunk(*job, chunk);
+        else
+            task();
     }
 }
 
@@ -94,82 +109,103 @@ ThreadPool::partition(int64_t begin, int64_t end, int chunks)
 }
 
 void
-ThreadPool::parallelFor(int64_t begin, int64_t end,
-                        const std::function<void(int64_t, int64_t)> &body)
+ThreadPool::runBulkChunk(BulkJob &job, int c)
 {
-    parallelForChunks(begin, end,
-                      [&body](int64_t first, int64_t last, int) {
-                          body(first, last);
-                      });
+    // Chunk c's bounds, arithmetically identical to partition():
+    // the first rem chunks are base + 1 long, the rest base.
+    const int64_t first =
+        job.begin + c * job.base + std::min<int64_t>(c, job.rem);
+    const int64_t last = first + job.base + (c < job.rem ? 1 : 0);
+    try {
+        job.body(job.ctx, first, last, c);
+    } catch (...) {
+        MutexLock dl(job.done_mutex);
+        if (!job.error)
+            job.error = std::current_exception();
+    }
+    {
+        // Notify while holding the lock: the waiter can only unwind
+        // (destroying the stack-allocated job) after acquiring
+        // done_mutex, so no worker can touch the job after it is
+        // destroyed.
+        MutexLock dl(job.done_mutex);
+        --job.pending;
+        if (job.pending == 0)
+            job.done_cv.notify_one();
+    }
 }
 
 void
-ThreadPool::parallelForChunks(
-    int64_t begin, int64_t end,
-    const std::function<void(int64_t, int64_t, int)> &body)
+ThreadPool::unlinkBulkLocked(BulkJob *job)
+{
+    BulkJob **p = &bulkHead_;
+    while (*p != job)
+        p = &(*p)->next;
+    *p = job->next;
+}
+
+void
+ThreadPool::parallelForRaw(int64_t begin, int64_t end,
+                           RawChunkBody body, void *ctx)
 {
     if (end <= begin)
         return;
-    if (numThreads_ <= 1 || end - begin == 1 || t_workerOf == this) {
-        body(begin, end, 0);
+    const int64_t n = end - begin;
+    if (numThreads_ <= 1 || n == 1 || t_workerOf == this) {
+        body(ctx, begin, end, 0);
         return;
     }
 
-    const auto chunks = partition(begin, end, numThreads_);
-    const int nc = static_cast<int>(chunks.size());
-
-    // Completion latch: pending counts chunks handed to workers. The
-    // latch must be fully drained before this frame unwinds — the
-    // queued tasks capture these locals by reference — so exceptions
-    // (from any chunk) are parked in an exception_ptr and rethrown
-    // only after every chunk finished. (Locals cannot carry
-    // ASV_GUARDED_BY; done_mutex guards pending and error.)
-    Mutex done_mutex;
-    std::condition_variable done_cv;
-    int pending = nc - 1;
-    std::exception_ptr error;
+    BulkJob job;
+    job.body = body;
+    job.ctx = ctx;
+    job.begin = begin;
+    const int64_t nc = std::min<int64_t>(numThreads_, n);
+    job.base = n / nc;
+    job.rem = n % nc;
+    job.nc = static_cast<int>(nc);
+    job.nextChunk = 1; // the caller owns chunk 0
+    job.pending = job.nc;
 
     {
         MutexLock lock(mutex_);
-        for (int c = 1; c < nc; ++c) {
-            tasks_.emplace_back([&, c] {
-                try {
-                    body(chunks[c].first, chunks[c].second, c);
-                } catch (...) {
-                    MutexLock dl(done_mutex);
-                    if (!error)
-                        error = std::current_exception();
-                }
-                {
-                    // Notify while holding the lock: the waiter can
-                    // only unwind (destroying the latch) after
-                    // acquiring done_mutex, so no worker can touch
-                    // done_cv after it is destroyed.
-                    MutexLock dl(done_mutex);
-                    --pending;
-                    done_cv.notify_one();
-                }
-            });
-        }
+        BulkJob **tail = &bulkHead_;
+        while (*tail != nullptr)
+            tail = &(*tail)->next;
+        *tail = &job;
     }
     wake_.notify_all();
 
-    // The caller owns chunk 0.
-    try {
-        body(chunks[0].first, chunks[0].second, 0);
-    } catch (...) {
-        MutexLock dl(done_mutex);
-        if (!error)
-            error = std::current_exception();
+    runBulkChunk(job, 0);
+
+    // Claim whatever no worker picked up yet (all of it, if the
+    // workers are busy with queued tasks): the loop can never stall
+    // behind the task queue. Whoever claims the last chunk — worker
+    // or caller — unlinks the job.
+    for (;;) {
+        int c = -1;
+        {
+            MutexLock lock(mutex_);
+            if (job.nextChunk < job.nc) {
+                c = job.nextChunk++;
+                if (job.nextChunk == job.nc)
+                    unlinkBulkLocked(&job);
+            }
+        }
+        if (c < 0)
+            break;
+        runBulkChunk(job, c);
     }
 
     {
-        MutexLock dl(done_mutex);
-        while (pending != 0)
-            dl.wait(done_cv);
+        MutexLock dl(job.done_mutex);
+        while (job.pending != 0)
+            dl.wait(job.done_cv);
     }
-    if (error)
-        std::rethrow_exception(error);
+    // All chunks finished and their threads released done_mutex; the
+    // error slot has no remaining writers.
+    if (job.error)
+        std::rethrow_exception(job.error);
 }
 
 int
@@ -200,13 +236,6 @@ ThreadPool::setGlobalThreads(int threads)
 {
     MutexLock lock(g_globalMutex);
     g_globalPool = std::make_unique<ThreadPool>(threads);
-}
-
-void
-parallelFor(int64_t begin, int64_t end,
-            const std::function<void(int64_t, int64_t)> &body)
-{
-    ThreadPool::global().parallelFor(begin, end, body);
 }
 
 } // namespace asv

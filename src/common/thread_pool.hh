@@ -17,6 +17,23 @@
  *     (1 = serial). Nested parallelFor() calls on the same pool
  *     degrade to serial execution instead of deadlocking; nesting
  *     across different pools still parallelizes.
+ *  3. **Zero allocations on the dispatch path.** parallelFor() /
+ *     parallelForChunks() are templates that erase the body to a
+ *     plain function pointer plus the caller's stack address — no
+ *     std::function, no per-chunk task boxing, no partition vector.
+ *     The fan-out is one stack-allocated bulk-job descriptor linked
+ *     into an intrusive list under the pool mutex; workers claim
+ *     chunk indices from it and compute their bounds arithmetically.
+ *     This is what lets the pooled engines hit the exact-zero
+ *     steady-state allocation gate (BASELINE_alloc.json).
+ *
+ * Scheduling note: queued submit() tasks take priority over bulk
+ * jobs (the order chunk tasks historically entered the queue), and
+ * the parallelFor() caller claims any chunk no worker has picked up
+ * yet, so a loop never stalls behind long-running tasks. A
+ * parallelFor() body must not block on a submit() future — with
+ * every worker busy inside the same loop there may be nobody left
+ * to run the task (the kernels in this tree never do this).
  *
  * This is the enabling layer for the row/disparity-level parallelism
  * that real-time stereo systems exploit (census, SGM aggregation,
@@ -47,6 +64,13 @@ class ThreadPool
 {
   public:
     /**
+     * Type-erased chunk body: @p ctx is the address of the caller's
+     * callable, alive for the whole parallelForRaw() call.
+     */
+    using RawChunkBody = void (*)(void *ctx, int64_t first,
+                                  int64_t last, int chunk);
+
+    /**
      * Create a pool with @p threads workers. 0 means "use
      * defaultThreads()". A pool of 1 spawns no OS threads at all.
      */
@@ -63,7 +87,8 @@ class ThreadPool
      * Static partition of [begin, end) into at most @p chunks
      * contiguous, ascending, non-overlapping [first, last) ranges
      * whose sizes differ by at most one. Deterministic: depends only
-     * on the arguments.
+     * on the arguments. parallelFor() computes exactly these bounds
+     * (arithmetically, without materializing the vector).
      */
     static std::vector<std::pair<int64_t, int64_t>>
     partition(int64_t begin, int64_t end, int chunks);
@@ -71,21 +96,52 @@ class ThreadPool
     /**
      * Run body(first, last) over a static partition of [begin, end)
      * into numThreads() chunks, blocking until every chunk finished.
-     * Chunk c is passed to at most one thread; the caller executes
-     * one chunk itself. With numThreads() == 1 (or a nested call from
-     * inside a worker) this is exactly `body(begin, end)` inline.
+     * Chunk c is executed by exactly one thread; the caller executes
+     * chunk 0 itself (plus any chunk no worker claimed). With
+     * numThreads() == 1 (or a nested call from inside a worker) this
+     * is exactly `body(begin, end)` inline. Allocation-free.
      */
-    void parallelFor(int64_t begin, int64_t end,
-                     const std::function<void(int64_t, int64_t)> &body);
+    template <typename F>
+    void
+    parallelFor(int64_t begin, int64_t end, F &&body)
+    {
+        using Fn = std::remove_reference_t<F>;
+        parallelForRaw(
+            begin, end,
+            [](void *c, int64_t first, int64_t last, int) {
+                (*static_cast<Fn *>(c))(first, last);
+            },
+            const_cast<void *>(
+                static_cast<const void *>(std::addressof(body))));
+    }
 
     /**
      * As parallelFor(), but the body also receives the chunk index
      * (0-based, < partition size). Lets callers keep per-chunk
      * accumulators that are reduced deterministically afterwards.
      */
-    void parallelForChunks(
-        int64_t begin, int64_t end,
-        const std::function<void(int64_t, int64_t, int)> &body);
+    template <typename F>
+    void
+    parallelForChunks(int64_t begin, int64_t end, F &&body)
+    {
+        using Fn = std::remove_reference_t<F>;
+        parallelForRaw(
+            begin, end,
+            [](void *c, int64_t first, int64_t last, int chunk) {
+                (*static_cast<Fn *>(c))(first, last, chunk);
+            },
+            const_cast<void *>(
+                static_cast<const void *>(std::addressof(body))));
+    }
+
+    /**
+     * The non-template core of parallelFor(): dispatch
+     * body(ctx, first, last, chunk) over the static partition.
+     * @p ctx must stay valid until this call returns (it does — the
+     * call blocks on completion of every chunk).
+     */
+    void parallelForRaw(int64_t begin, int64_t end, RawChunkBody body,
+                        void *ctx);
 
     /**
      * Enqueue an arbitrary task and return a std::future for its
@@ -145,7 +201,40 @@ class ThreadPool
     static void setGlobalThreads(int threads);
 
   private:
+    /**
+     * One parallelForRaw() fan-out, allocated on the caller's stack
+     * and linked into the pool's intrusive bulk list while it has
+     * unclaimed chunks. Chunk bounds are derived arithmetically from
+     * (begin, base, rem) — identical to partition(). Claiming state
+     * (next, nextChunk) is guarded by the pool mutex; completion
+     * state (pending, error) by the job's own done_mutex, and the
+     * final notify happens under that lock so the job can never be
+     * destroyed while a worker still touches it.
+     */
+    struct BulkJob
+    {
+        BulkJob *next = nullptr; //!< intrusive list (pool mutex_)
+        RawChunkBody body = nullptr;
+        void *ctx = nullptr;
+        int64_t begin = 0;
+        int64_t base = 0; //!< floor chunk length
+        int64_t rem = 0;  //!< first rem chunks are one longer
+        int nc = 0;       //!< chunk count
+        int nextChunk = 0; //!< next unclaimed chunk (pool mutex_)
+
+        Mutex done_mutex;
+        std::condition_variable done_cv;
+        int pending = 0; //!< unfinished chunks
+        std::exception_ptr error;
+    };
+
     void workerLoop();
+
+    /** Execute chunk @p c of @p job and record completion. */
+    static void runBulkChunk(BulkJob &job, int c);
+
+    /** Unlink @p job from the bulk list (it is fully claimed). */
+    void unlinkBulkLocked(BulkJob *job) ASV_REQUIRES(mutex_);
 
     // Set in the constructor, immutable afterwards.
     int numThreads_ = 1;
@@ -154,12 +243,19 @@ class ThreadPool
     Mutex mutex_;
     std::condition_variable wake_;
     std::deque<std::function<void()>> tasks_ ASV_GUARDED_BY(mutex_);
+    BulkJob *bulkHead_ ASV_GUARDED_BY(mutex_) = nullptr;
+    BulkJob *bulkTail_ ASV_GUARDED_BY(mutex_) = nullptr;
     bool stop_ ASV_GUARDED_BY(mutex_) = false;
 };
 
 /** parallelFor() on the global pool. */
-void parallelFor(int64_t begin, int64_t end,
-                 const std::function<void(int64_t, int64_t)> &body);
+template <typename F>
+void
+parallelFor(int64_t begin, int64_t end, F &&body)
+{
+    ThreadPool::global().parallelFor(begin, end,
+                                     std::forward<F>(body));
+}
 
 } // namespace asv
 

@@ -140,7 +140,7 @@ ismFlow(const image::Image &from, const image::Image &to,
     flow::FlowField small =
         flow::farnebackFlow(f0, f1, p.flowParams, nullptr, ctx);
 
-    flow::FlowField full(from.width(), from.height());
+    flow::FlowField full;
     full.u = image::resizeBilinear(small.u, from.width(),
                                    from.height(), ctx);
     full.v = image::resizeBilinear(small.v, from.width(),
@@ -178,7 +178,8 @@ ismPropagate(const image::Image &left, const image::Image &right,
 
     // Step 2 + 3: reconstruct correspondence pairs from the previous
     // disparity map and move both endpoints.
-    stereo::DisparityMap init(w, h);
+    stereo::DisparityMap init =
+        image::acquireImageUninit(ctx.buffers(), w, h);
     init.fill(stereo::kInvalidDisparity);
     for (int y = 0; y < h; ++y) {
         for (int x = 0; x < w; ++x) {
@@ -265,6 +266,11 @@ IsmPipeline::processFrame(const image::Image &left,
         prevLeft_ = image::Image();
         prevRight_ = image::Image();
         prevDisparity_ = stereo::DisparityMap();
+        // The shelved buffers are keyed to the old resolution and
+        // will never be reused; drop them so cycling resolutions
+        // keeps resident bytes bounded by one resolution's working
+        // set instead of accumulating every size ever seen.
+        buffers_->trim(0);
     }
 
     IsmFrameResult result;
@@ -272,7 +278,7 @@ IsmPipeline::processFrame(const image::Image &left,
         *sequencer_, left, frameIndex_, !prevDisparity_.empty());
     ++frameIndex_;
 
-    const ExecContext ctx(*pool_);
+    const ExecContext ctx(*pool_, *buffers_);
     if (is_key) {
         // Step 1: "DNN inference" — the key-frame engine. Classical
         // engines report their real op count; oracle/callback

@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/buffer_pool.hh"
 #include "common/exec_context.hh"
 #include "common/thread_pool.hh"
 #include "core/sequencer.hh"
@@ -211,11 +212,22 @@ class IsmPipeline
      */
     ThreadPool &pool() const { return *pool_; }
 
+    /**
+     * The buffer arena every frame's kernels recycle through —
+     * private to this instance, so concurrent pipelines never
+     * contend on shelves. Its stats() expose the steady-state
+     * contract: after the warm-up frame, hits dominate and misses
+     * stay flat.
+     */
+    BufferPool &buffers() const { return *buffers_; }
+
   private:
     IsmParams params_;
     std::shared_ptr<const stereo::Matcher> keyFrameSource_;
     std::unique_ptr<KeyFrameSequencer> sequencer_;
     std::shared_ptr<ThreadPool> pool_;
+    std::shared_ptr<BufferPool> buffers_ =
+        std::make_shared<BufferPool>();
     int64_t frameIndex_ = 0;
     image::Image prevLeft_;
     image::Image prevRight_;

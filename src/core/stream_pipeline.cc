@@ -132,6 +132,12 @@ StreamPipeline::submit(const image::Image &left,
         prevLeft_.reset();
         prevRight_.reset();
         prevDisparity_ = {};
+        // Shelved buffers are keyed to the old resolution and will
+        // never be recycled again; drop them so cycling resolutions
+        // keeps resident bytes bounded. Frames still in flight at
+        // the old size simply re-shelve on retirement and are
+        // trimmed at the next flip (or by setHighWaterBytes).
+        buffers_->trim(0);
     }
     const bool is_key = ismDecideKeyFrame(
         *sequencer_, left, frameIndex_, prevDisparity_.valid());
@@ -159,7 +165,7 @@ StreamPipeline::submit(const image::Image &left,
             pool_->submit([this, l = left_ptr, r = right_ptr]() {
                      FrameCompletion done(this);
                      stereo::DisparityMap d = keyFrameSource_->compute(
-                         *l, *r, ExecContext(*pool_));
+                         *l, *r, ExecContext(*pool_, *buffers_));
                      if (d.empty())
                          throw std::runtime_error(
                              "streaming key-frame matcher '" +
@@ -185,14 +191,14 @@ StreamPipeline::submit(const image::Image &left,
         auto flow_l =
             pool_->submit([this, from = prevLeft_, to = left_ptr]() {
                      return ismFlow(*from, *to, params_,
-                                    ExecContext(*pool_));
+                                    ExecContext(*pool_, *buffers_));
                  })
                 .share();
         auto flow_r =
             pool_->submit(
                      [this, from = prevRight_, to = right_ptr]() {
                          return ismFlow(*from, *to, params_,
-                                        ExecContext(*pool_));
+                                        ExecContext(*pool_, *buffers_));
                      })
                 .share();
         // Propagation chains on the predecessor's disparity future.
@@ -208,7 +214,7 @@ StreamPipeline::submit(const image::Image &left,
                      return ismPropagate(*l, *r, prev.get(),
                                          flow_l.get(), flow_r.get(),
                                          params_,
-                                         ExecContext(*pool_));
+                                         ExecContext(*pool_, *buffers_));
                  })
                 .share();
     }
@@ -265,6 +271,9 @@ StreamPipeline::reset()
     prevRight_.reset();
     prevDisparity_ = {};
     sequencer_->reset();
+    // All in-flight work has retired (every future above is ready),
+    // so this empties the arena completely for the next sequence.
+    buffers_->trim(0);
 }
 
 } // namespace asv::core

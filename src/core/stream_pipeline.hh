@@ -186,6 +186,13 @@ class StreamPipeline
     /** The key-frame engine. */
     const stereo::Matcher &matcher() const { return *keyFrameSource_; }
 
+    /**
+     * The buffer arena every stage of every in-flight frame recycles
+     * through — private to this pipeline. BufferPool is internally
+     * synchronized, so concurrent stages share it safely.
+     */
+    BufferPool &buffers() const { return *buffers_; }
+
   private:
     /** Reorder-buffer entry for one submitted frame. */
     struct Slot
@@ -207,6 +214,8 @@ class StreamPipeline
     int maxInFlight_ = 1;
     int workers_ = 1;
     std::unique_ptr<ThreadPool> pool_;
+    std::shared_ptr<BufferPool> buffers_ =
+        std::make_shared<BufferPool>();
 
     // Submission-thread state, mirroring IsmPipeline exactly; an
     // invalid prevDisparity_ future plays the serial pipeline's

@@ -81,10 +81,12 @@ inverseGram(int radius, double sigma)
 
 /** One separable pass along x with kernel w(t)*t^p. */
 image::Image
-rowMoment(const image::Image &src, int radius, double sigma, int p)
+rowMoment(const image::Image &src, int radius, double sigma, int p,
+          const ExecContext &ctx)
 {
-    image::Image dst(src.width(), src.height());
-    std::vector<double> k(2 * radius + 1);
+    image::Image dst = image::acquireImageUninit(
+        ctx.buffers(), src.width(), src.height());
+    auto k = ctx.buffers().acquire<double>(size_t(2 * radius + 1));
     for (int t = -radius; t <= radius; ++t) {
         const double w =
             std::exp(-(double(t) * t) / (2.0 * sigma * sigma));
@@ -103,10 +105,12 @@ rowMoment(const image::Image &src, int radius, double sigma, int p)
 
 /** One separable pass along y with kernel w(t)*t^q. */
 image::Image
-colMoment(const image::Image &src, int radius, double sigma, int q)
+colMoment(const image::Image &src, int radius, double sigma, int q,
+          const ExecContext &ctx)
 {
-    image::Image dst(src.width(), src.height());
-    std::vector<double> k(2 * radius + 1);
+    image::Image dst = image::acquireImageUninit(
+        ctx.buffers(), src.width(), src.height());
+    auto k = ctx.buffers().acquire<double>(size_t(2 * radius + 1));
     for (int t = -radius; t <= radius; ++t) {
         const double w =
             std::exp(-(double(t) * t) / (2.0 * sigma * sigma));
@@ -126,26 +130,33 @@ colMoment(const image::Image &src, int radius, double sigma, int q)
 } // namespace
 
 PolyExpansion
-polyExpansion(const image::Image &img, int radius, double sigma)
+polyExpansion(const image::Image &img, int radius, double sigma,
+              const ExecContext &ctx)
 {
     panic_if(radius < 1, "polynomial radius must be >= 1");
     const int w = img.width(), h = img.height();
     const auto ginv = inverseGram(radius, sigma);
 
-    // Separable moments: m(p,q) = col_q(row_p(f)).
-    const image::Image r0 = rowMoment(img, radius, sigma, 0);
-    const image::Image r1 = rowMoment(img, radius, sigma, 1);
-    const image::Image r2 = rowMoment(img, radius, sigma, 2);
-    const image::Image m00 = colMoment(r0, radius, sigma, 0);
-    const image::Image m10 = colMoment(r1, radius, sigma, 0);
-    const image::Image m01 = colMoment(r0, radius, sigma, 1);
-    const image::Image m20 = colMoment(r2, radius, sigma, 0);
-    const image::Image m02 = colMoment(r0, radius, sigma, 2);
-    const image::Image m11 = colMoment(r1, radius, sigma, 1);
+    // Separable moments: m(p,q) = col_q(row_p(f)). All intermediates
+    // and the six coefficient planes are pooled, so a warm expansion
+    // allocates nothing.
+    const image::Image r0 = rowMoment(img, radius, sigma, 0, ctx);
+    const image::Image r1 = rowMoment(img, radius, sigma, 1, ctx);
+    const image::Image r2 = rowMoment(img, radius, sigma, 2, ctx);
+    const image::Image m00 = colMoment(r0, radius, sigma, 0, ctx);
+    const image::Image m10 = colMoment(r1, radius, sigma, 0, ctx);
+    const image::Image m01 = colMoment(r0, radius, sigma, 1, ctx);
+    const image::Image m20 = colMoment(r2, radius, sigma, 0, ctx);
+    const image::Image m02 = colMoment(r0, radius, sigma, 2, ctx);
+    const image::Image m11 = colMoment(r1, radius, sigma, 1, ctx);
 
-    PolyExpansion pe{image::Image(w, h), image::Image(w, h),
-                     image::Image(w, h), image::Image(w, h),
-                     image::Image(w, h), image::Image(w, h)};
+    BufferPool &bp = ctx.buffers();
+    PolyExpansion pe{image::acquireImageUninit(bp, w, h),
+                     image::acquireImageUninit(bp, w, h),
+                     image::acquireImageUninit(bp, w, h),
+                     image::acquireImageUninit(bp, w, h),
+                     image::acquireImageUninit(bp, w, h),
+                     image::acquireImageUninit(bp, w, h)};
 
     // Basis order: {1, dx, dy, dx^2, dy^2, dxdy}.
     for (int y = 0; y < h; ++y) {
@@ -171,6 +182,12 @@ polyExpansion(const image::Image &img, int radius, double sigma)
     return pe;
 }
 
+PolyExpansion
+polyExpansion(const image::Image &img, int radius, double sigma)
+{
+    return polyExpansion(img, radius, sigma, ExecContext::global());
+}
+
 namespace
 {
 
@@ -184,7 +201,14 @@ updateFlow(const PolyExpansion &p1, const PolyExpansion &p2,
 {
     const int w = flow.width(), h = flow.height();
 
-    image::Image g11(w, h), g12(w, h), g22(w, h), h1(w, h), h2(w, h);
+    // The matrix update writes every pixel of the five normal-
+    // equation planes, so the pooled acquisitions skip the clear.
+    BufferPool &bp = ctx.buffers();
+    image::Image g11 = image::acquireImageUninit(bp, w, h);
+    image::Image g12 = image::acquireImageUninit(bp, w, h);
+    image::Image g22 = image::acquireImageUninit(bp, w, h);
+    image::Image h1 = image::acquireImageUninit(bp, w, h);
+    image::Image h2 = image::acquireImageUninit(bp, w, h);
 
     // Matrix update: build the per-pixel normal equations. Rows are
     // independent (each writes disjoint slices of g/h), so they fan
@@ -268,17 +292,21 @@ farnebackFlow(const image::Image &frame0, const image::Image &frame1,
         frame1, params.pyramidLevels, 16, ctx);
     const int levels = static_cast<int>(pyr0.size());
 
-    FlowField flow(pyr0[levels - 1].width(), pyr0[levels - 1].height());
+    const int wc = pyr0[levels - 1].width();
+    const int hc = pyr0[levels - 1].height();
+    FlowField flow;
     if (init) {
         const float s = 1.f / float(1 << (levels - 1));
-        flow.u = image::resizeBilinear(init->u, flow.width(),
-                                       flow.height(), ctx);
-        flow.v = image::resizeBilinear(init->v, flow.width(),
-                                       flow.height(), ctx);
+        flow.u = image::resizeBilinear(init->u, wc, hc, ctx);
+        flow.v = image::resizeBilinear(init->v, wc, hc, ctx);
         for (int64_t i = 0; i < flow.u.size(); ++i) {
             flow.u.data()[i] *= s;
             flow.v.data()[i] *= s;
         }
+    } else {
+        // Unseeded flow starts at zero displacement.
+        flow.u = image::acquireImage(ctx.buffers(), wc, hc);
+        flow.v = image::acquireImage(ctx.buffers(), wc, hc);
     }
 
     for (int level = levels - 1; level >= 0; --level) {
@@ -288,7 +316,7 @@ farnebackFlow(const image::Image &frame0, const image::Image &frame1,
         if (level != levels - 1) {
             // Upsample flow from the coarser level and rescale.
             const float sx = float(f0.width()) / flow.width();
-            FlowField up(f0.width(), f0.height());
+            FlowField up;
             up.u = image::resizeBilinear(flow.u, f0.width(),
                                          f0.height(), ctx);
             up.v = image::resizeBilinear(flow.v, f0.width(),
@@ -300,10 +328,10 @@ farnebackFlow(const image::Image &frame0, const image::Image &frame1,
             flow = std::move(up);
         }
 
-        const PolyExpansion p0 =
-            polyExpansion(f0, params.polyRadius, params.polySigma);
-        const PolyExpansion p1 =
-            polyExpansion(f1, params.polyRadius, params.polySigma);
+        const PolyExpansion p0 = polyExpansion(
+            f0, params.polyRadius, params.polySigma, ctx);
+        const PolyExpansion p1 = polyExpansion(
+            f1, params.polyRadius, params.polySigma, ctx);
 
         for (int it = 0; it < params.iterations; ++it)
             updateFlow(p0, p1, flow, params.blurRadius, ctx);

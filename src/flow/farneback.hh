@@ -55,12 +55,19 @@ struct FarnebackParams
 };
 
 /**
- * Compute the quadratic polynomial expansion of @p img.
+ * Compute the quadratic polynomial expansion of @p img. The moment
+ * intermediates and the six coefficient planes are drawn from
+ * @p ctx's buffer pool, so a warm expansion allocates nothing.
  *
  * @param img    input frame
  * @param radius neighborhood radius (window is (2r+1)^2)
  * @param sigma  Gaussian applicability sigma
+ * @param ctx    execution context supplying the buffer pool
  */
+PolyExpansion polyExpansion(const image::Image &img, int radius,
+                            double sigma, const ExecContext &ctx);
+
+/** polyExpansion() on the process-global pools (legacy signature). */
 PolyExpansion polyExpansion(const image::Image &img, int radius,
                             double sigma);
 

@@ -104,18 +104,21 @@ detectCorners(const image::Image &img, const LucasKanadeParams &params)
 namespace
 {
 
-/** One LK solve at a single pyramid level, updating (u, v). */
+/**
+ * One LK solve at a single pyramid level, updating (u, v). The patch
+ * scratch (ix/iy/i0, each (2r+1)^2 floats) is caller-provided pooled
+ * storage, shared across all points of one chunk.
+ */
 bool
 trackAtLevel(const image::Image &f0, const image::Image &f1, float x,
              float y, float &u, float &v,
-             const LucasKanadeParams &params)
+             const LucasKanadeParams &params, float *ix, float *iy,
+             float *i0)
 {
     const int r = params.windowRadius;
 
     // Spatial gradient matrix over the window around (x, y) in f0.
     double gxx = 0, gxy = 0, gyy = 0;
-    std::vector<float> ix((2 * r + 1) * (2 * r + 1));
-    std::vector<float> iy(ix.size()), i0(ix.size());
     int idx = 0;
     for (int dy = -r; dy <= r; ++dy) {
         for (int dx = -r; dx <= r; ++dx, ++idx) {
@@ -180,6 +183,14 @@ trackLucasKanade(const image::Image &frame0,
     // points fan out across the pool.
     ctx.parallelFor(0, int64_t(points.size()), [&](int64_t i0,
                                                    int64_t i1) {
+        // Per-chunk pooled patch scratch, reused by every point and
+        // level of the chunk.
+        const size_t win = size_t(2 * params.windowRadius + 1) *
+                           size_t(2 * params.windowRadius + 1);
+        auto patch = ctx.buffers().acquire<float>(3 * win);
+        float *six = patch.data();
+        float *siy = six + win;
+        float *si0 = siy + win;
         for (int64_t i = i0; i < i1; ++i) {
             TrackedPoint &p = points[i];
             float u = 0.f, v = 0.f;
@@ -193,7 +204,7 @@ trackLucasKanade(const image::Image &frame0,
                 }
                 ok = trackAtLevel(pyr0[level], pyr1[level],
                                   p.x * scale, p.y * scale, u, v,
-                                  params);
+                                  params, six, siy, si0);
                 if (!ok)
                     break;
             }

@@ -16,6 +16,32 @@ Image::Image(int width, int height)
     panic_if(width < 0 || height < 0, "negative image size");
 }
 
+Image
+acquireImage(BufferPool &pool, int width, int height)
+{
+    panic_if(width < 0 || height < 0, "negative image size");
+    Image img;
+    img.width_ = width;
+    img.height_ = height;
+    img.data_ = pool.state()->take<float>(
+        size_t(int64_t(width) * height), true);
+    img.pool_ = pool.state();
+    return img;
+}
+
+Image
+acquireImageUninit(BufferPool &pool, int width, int height)
+{
+    panic_if(width < 0 || height < 0, "negative image size");
+    Image img;
+    img.width_ = width;
+    img.height_ = height;
+    img.data_ = pool.state()->take<float>(
+        size_t(int64_t(width) * height), false);
+    img.pool_ = pool.state();
+    return img;
+}
+
 Image::Image(int width, int height, float value)
     : Image(width, height)
 {

@@ -6,16 +6,48 @@
  * classic vision substrates in ASV: Farnebäck optical flow, block
  * matching, SGM, and the synthetic dataset generator. Disparity and
  * flow fields reuse the same container (one Image per component).
+ *
+ * Images are plain value types, with one twist for the
+ * zero-allocation steady state: an Image acquired through
+ * acquireImage() remembers its BufferPool and shelves its pixel
+ * storage back into that pool when destroyed (or assigned over), so
+ * the next same-shape acquisition recycles it. The pool backref
+ * travels with moves — returning a pooled image from a kernel and
+ * letting the caller's copy die still recycles — while copies are
+ * ordinary non-pooled values. Nothing else about the container
+ * changes: pooled and plain images are indistinguishable through
+ * the API.
  */
 
 #ifndef ASV_IMAGE_IMAGE_HH
 #define ASV_IMAGE_IMAGE_HH
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "common/buffer_pool.hh"
 
 namespace asv::image
 {
+
+class Image;
+
+/**
+ * An image whose pixel storage is drawn from (and, on destruction,
+ * returned to) @p pool — the frame-path replacement for Image(w, h).
+ * Zero-filled, like the constructor. After one warm-up frame the
+ * acquisition allocates nothing.
+ */
+Image acquireImage(BufferPool &pool, int width, int height);
+
+/**
+ * As acquireImage(), but with *unspecified* pixel contents (recycled
+ * data or zeros). For targets whose every pixel is written before
+ * being read — skips the clear.
+ */
+Image acquireImageUninit(BufferPool &pool, int width, int height);
 
 /**
  * A dense row-major single-channel float image.
@@ -32,6 +64,56 @@ class Image
 
     /** Construct filled with @p value. */
     Image(int width, int height, float value);
+
+    /** A copy is a plain (non-pooled) value. */
+    Image(const Image &other)
+        : width_(other.width_), height_(other.height_),
+          data_(other.data_)
+    {
+    }
+
+    /**
+     * Copy-assign reuses this image's buffer when capacity allows
+     * (and keeps its pool backref), so refreshing a persistent frame
+     * slot from a same-shape source allocates nothing.
+     */
+    Image &
+    operator=(const Image &other)
+    {
+        if (this != &other) {
+            width_ = other.width_;
+            height_ = other.height_;
+            data_ = other.data_;
+        }
+        return *this;
+    }
+
+    /** Moves transfer the storage and its pool backref. */
+    Image(Image &&other) noexcept
+        : width_(other.width_), height_(other.height_),
+          data_(std::move(other.data_)), pool_(std::move(other.pool_))
+    {
+        other.width_ = 0;
+        other.height_ = 0;
+    }
+
+    Image &
+    operator=(Image &&other) noexcept
+    {
+        if (this != &other) {
+            releaseStorage();
+            width_ = other.width_;
+            height_ = other.height_;
+            data_ = std::move(other.data_);
+            pool_ = std::move(other.pool_);
+            other.width_ = 0;
+            other.height_ = 0;
+        }
+        return *this;
+    }
+
+    /** Shelves pooled storage back into its pool. */
+    ~Image() { releaseStorage(); }
 
     int width() const { return width_; }
     int height() const { return height_; }
@@ -64,9 +146,25 @@ class Image
     double maxAbsDiff(const Image &other) const;
 
   private:
+    friend Image acquireImage(BufferPool &pool, int width,
+                              int height);
+    friend Image acquireImageUninit(BufferPool &pool, int width,
+                                    int height);
+
+    void
+    releaseStorage() noexcept
+    {
+        if (pool_) {
+            pool_->give(std::move(data_));
+            pool_.reset();
+            data_ = std::vector<float>();
+        }
+    }
+
     int width_ = 0;
     int height_ = 0;
     std::vector<float> data_;
+    std::shared_ptr<detail::PoolState> pool_; //!< null = plain value
 };
 
 } // namespace asv::image

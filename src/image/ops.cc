@@ -1,5 +1,6 @@
 #include "image/ops.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -8,14 +9,17 @@
 namespace asv::image
 {
 
-std::vector<float>
-gaussianKernel1d(int radius, double sigma)
+namespace
+{
+
+/** Fill k[0 .. 2r] with the normalized Gaussian taps. */
+void
+fillGaussianKernel1d(float *k, int radius, double sigma)
 {
     panic_if(radius < 0, "negative radius");
     if (sigma <= 0.0)
         sigma = 0.3 * (radius - 1) + 0.8; // OpenCV-style default
 
-    std::vector<float> k(2 * radius + 1);
     double sum = 0.0;
     for (int i = -radius; i <= radius; ++i) {
         const double v = std::exp(-(double(i) * i) /
@@ -23,8 +27,18 @@ gaussianKernel1d(int radius, double sigma)
         k[i + radius] = static_cast<float>(v);
         sum += v;
     }
-    for (auto &v : k)
-        v = static_cast<float>(v / sum);
+    for (int i = 0; i <= 2 * radius; ++i)
+        k[i] = static_cast<float>(k[i] / sum);
+}
+
+} // namespace
+
+std::vector<float>
+gaussianKernel1d(int radius, double sigma)
+{
+    panic_if(radius < 0, "negative radius");
+    std::vector<float> k(2 * radius + 1);
+    fillGaussianKernel1d(k.data(), radius, sigma);
     return k;
 }
 
@@ -34,10 +48,14 @@ gaussianBlur(const Image &src, int radius, double sigma,
 {
     if (radius == 0)
         return src;
-    const auto k = gaussianKernel1d(radius, sigma);
+    auto k = ctx.buffers().acquire<float>(size_t(2 * radius + 1));
+    fillGaussianKernel1d(k.data(), radius, sigma);
     const int w = src.width(), h = src.height();
 
-    Image tmp(w, h), dst(w, h);
+    // Both passes write every pixel of their target, so the pooled
+    // acquisitions skip the clear.
+    Image tmp = acquireImageUninit(ctx.buffers(), w, h);
+    Image dst = acquireImageUninit(ctx.buffers(), w, h);
     // Horizontal pass: rows are independent and each writes a
     // disjoint slice of tmp.
     ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
@@ -85,7 +103,8 @@ resizeBilinear(const Image &src, int new_width, int new_height,
                const ExecContext &ctx)
 {
     panic_if(new_width <= 0 || new_height <= 0, "bad resize target");
-    Image dst(new_width, new_height);
+    Image dst = acquireImageUninit(ctx.buffers(), new_width,
+                                   new_height);
     const float sx = float(src.width()) / new_width;
     const float sy = float(src.height()) / new_height;
     // Output rows are independent.
@@ -114,7 +133,7 @@ downsample2x(const Image &src, const ExecContext &ctx)
     Image blurred = gaussianBlur(src, 1, 0.8, ctx);
     const int w = std::max(1, src.width() / 2);
     const int h = std::max(1, src.height() / 2);
-    Image dst(w, h);
+    Image dst = acquireImageUninit(ctx.buffers(), w, h);
     for (int y = 0; y < h; ++y)
         for (int x = 0; x < w; ++x)
             dst.at(x, y) = blurred.atClamped(2 * x, 2 * y);
@@ -155,7 +174,14 @@ buildPyramid(const Image &src, int levels, int min_size,
 {
     panic_if(levels < 1, "pyramid needs at least one level");
     std::vector<Image> pyr;
-    pyr.push_back(src);
+    pyr.reserve(size_t(levels));
+    // Level 0 is a pooled copy of the source so the whole pyramid
+    // recycles (the plain push_back(src) copy would heap-allocate
+    // a full-resolution frame every call).
+    Image base =
+        acquireImageUninit(ctx.buffers(), src.width(), src.height());
+    std::copy(src.data(), src.data() + src.size(), base.data());
+    pyr.push_back(std::move(base));
     for (int l = 1; l < levels; ++l) {
         const Image &prev = pyr.back();
         if (prev.width() / 2 < min_size || prev.height() / 2 < min_size)

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/buffer_pool.hh"
 #include "common/logging.hh"
 #include "common/math_util.hh"
 #include "common/simd.hh"
@@ -34,15 +35,22 @@ blockSad(const image::Image &left, const image::Image &right, int x,
 /**
  * Per-row state for the SAD search: the y-clamped row base pointers
  * both images share for a given center row, plus the dispatched
- * kernel table. Built once per row by the row-parallel drivers.
+ * kernel table. Built once per row by the row-parallel drivers; the
+ * pointer arrays live in pooled per-chunk scratch so a warm search
+ * allocates nothing.
  */
 struct SadRowContext
 {
-    std::vector<const float *> lrows, rrows;
+    PoolHandle<const float *> storage;
+    const float **lrows, **rrows;
     const simd::Kernels *kernels;
 
-    SadRowContext(int radius, const simd::Kernels &k)
-        : lrows(2 * radius + 1), rrows(2 * radius + 1), kernels(&k)
+    SadRowContext(int radius, const simd::Kernels &k,
+                  BufferPool &pool)
+        : storage(pool.acquire<const float *>(
+              size_t(2 * (2 * radius + 1)))),
+          lrows(storage.data()),
+          rrows(storage.data() + (2 * radius + 1)), kernels(&k)
     {
     }
 
@@ -70,7 +78,7 @@ struct SadRowContext
 void
 sadCosts(const image::Image &left, const image::Image &right, int x,
          int y, int d_lo, int d_hi, int radius,
-         const SadRowContext &rows, std::vector<double> &costs)
+         const SadRowContext &rows, double *costs)
 {
     const int w = left.width();
     // Left block interior: x +/- radius in bounds. Right block
@@ -89,10 +97,9 @@ sadCosts(const image::Image &left, const image::Image &right, int x,
             costs[d - d_lo] = blockSad(left, right, x, y, d, radius);
     }
     if (d_safe_lo <= d_safe_hi) {
-        rows.kernels->sadSpan(rows.lrows.data(), rows.rrows.data(),
-                              radius, x, d_safe_lo,
-                              d_safe_hi - d_safe_lo + 1,
-                              costs.data() + (d_safe_lo - d_lo));
+        rows.kernels->sadSpan(rows.lrows, rows.rrows, radius, x,
+                              d_safe_lo, d_safe_hi - d_safe_lo + 1,
+                              costs + (d_safe_lo - d_lo));
     }
 }
 
@@ -119,9 +126,10 @@ float
 matchPixel(const image::Image &left, const image::Image &right, int x,
            int y, int d_lo, int d_hi,
            const BlockMatchingParams &params,
-           const SadRowContext &rows, std::vector<double> &costs)
+           const SadRowContext &rows, double *costs)
 {
-    costs.resize(d_hi - d_lo + 1);
+    // costs must hold d_hi - d_lo + 1 entries (callers pass a pooled
+    // span sized for the full maxDisparity + 1 range).
     sadCosts(left, right, x, y, d_lo, d_hi, params.blockRadius, rows,
              costs);
 
@@ -182,18 +190,24 @@ blockMatching(const image::Image &left, const image::Image &right,
              "stereo pair size mismatch");
     fatal_if(params.maxDisparity < 1, "maxDisparity must be >= 1");
 
-    DisparityMap disp(left.width(), left.height());
+    // Every pixel is written below, so the pooled map skips the
+    // clear; per-chunk scratch comes from the same arena.
+    DisparityMap disp = image::acquireImageUninit(
+        ctx.buffers(), left.width(), left.height());
     const simd::Kernels &kernels = simd::kernels();
     // Pixels are independent; partition the SAD search by row.
     ctx.parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
-        SadRowContext rows(params.blockRadius, kernels);
-        std::vector<double> costs;
+        SadRowContext rows(params.blockRadius, kernels,
+                           ctx.buffers());
+        auto costs = ctx.buffers().acquire<double>(
+            size_t(params.maxDisparity + 1));
         for (int y = int(y0); y < int(y1); ++y) {
             rows.setRow(left, right, params.blockRadius, y);
             for (int x = 0; x < left.width(); ++x) {
                 const int d_hi = std::min(params.maxDisparity, x);
-                disp.at(x, y) = matchPixel(left, right, x, y, 0,
-                                           d_hi, params, rows, costs);
+                disp.at(x, y) =
+                    matchPixel(left, right, x, y, 0, d_hi, params,
+                               rows, costs.data());
             }
         }
     });
@@ -221,11 +235,14 @@ refineDisparity(const image::Image &left, const image::Image &right,
              "init disparity size mismatch");
     fatal_if(radius < 0, "negative refinement radius");
 
-    DisparityMap disp(left.width(), left.height());
+    DisparityMap disp = image::acquireImageUninit(
+        ctx.buffers(), left.width(), left.height());
     const simd::Kernels &kernels = simd::kernels();
     ctx.parallelFor(0, left.height(), [&](int64_t y0, int64_t y1) {
-        SadRowContext rows(params.blockRadius, kernels);
-        std::vector<double> costs;
+        SadRowContext rows(params.blockRadius, kernels,
+                           ctx.buffers());
+        auto costs = ctx.buffers().acquire<double>(
+            size_t(params.maxDisparity + 1));
         for (int y = int(y0); y < int(y1); ++y) {
             rows.setRow(left, right, params.blockRadius, y);
             for (int x = 0; x < left.width(); ++x) {
@@ -243,8 +260,9 @@ refineDisparity(const image::Image &left, const image::Image &right,
                     d_lo = 0;
                     d_hi = std::min(params.maxDisparity, x);
                 }
-                disp.at(x, y) = matchPixel(left, right, x, y, d_lo,
-                                           d_hi, params, rows, costs);
+                disp.at(x, y) =
+                    matchPixel(left, right, x, y, d_lo, d_hi, params,
+                               rows, costs.data());
             }
         }
     });

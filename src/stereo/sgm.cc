@@ -64,14 +64,19 @@ startRow(const uint16_t *cost_px, int nd, uint16_t *cur,
  * Per-path L_r scratch rows padded with the 0xFFFF neighbor
  * sentinels the aggregateRow kernel contract requires at prev[-1]
  * and prev[nd]. The kernel only ever writes cur[0..nd), so the
- * sentinels set at construction survive every swap.
+ * sentinels set at construction survive every swap. Storage comes
+ * from the context's BufferPool: recycled contents are re-sentineled
+ * here, so a recycled scratch is indistinguishable from a fresh one.
  */
 class PathScratch
 {
   public:
-    PathScratch(int nd, int64_t paths)
-        : stride_(nd + 2), buf_(stride_ * paths, 0xFFFF)
+    PathScratch(int nd, int64_t paths, BufferPool &pool)
+        : stride_(nd + 2),
+          buf_(pool.acquire<uint16_t>(size_t(stride_ * paths)))
     {
+        std::fill(buf_.data(), buf_.data() + buf_.size(),
+                  uint16_t(0xFFFF));
     }
 
     /** Interior (length-nd) slice of path @p i. */
@@ -84,7 +89,7 @@ class PathScratch
 
   private:
     int64_t stride_;
-    std::vector<uint16_t> buf_;
+    PoolHandle<uint16_t> buf_;
 };
 
 /**
@@ -98,7 +103,7 @@ aggregateHorizontal(const AggregateView &v, int dx,
     const int w = v.w, nd = v.nd;
     const simd::Kernels &k = simd::kernels();
     ctx.parallelFor(0, v.h, [&](int64_t y0, int64_t y1) {
-        PathScratch scratch(nd, 2);
+        PathScratch scratch(nd, 2, ctx.buffers());
         for (int y = int(y0); y < int(y1); ++y) {
             uint16_t *prev = scratch.row(0), *cur = scratch.row(1);
             int x = dx > 0 ? 0 : w - 1;
@@ -129,8 +134,9 @@ aggregateVertical(const AggregateView &v, int dy,
     const simd::Kernels &k = simd::kernels();
     ctx.parallelFor(0, w, [&](int64_t x0, int64_t x1) {
         const int64_t nx = x1 - x0;
-        PathScratch prev(nd, nx), cur(nd, nx);
-        std::vector<uint16_t> mins(nx, 0);
+        PathScratch prev(nd, nx, ctx.buffers());
+        PathScratch cur(nd, nx, ctx.buffers());
+        auto mins = ctx.buffers().acquireZeroed<uint16_t>(size_t(nx));
         const int y_begin = dy > 0 ? 0 : h - 1;
         for (int i = 0; i < h; ++i) {
             const int y = y_begin + i * dy;
@@ -164,8 +170,10 @@ aggregateDiagonal(const AggregateView &v, int dx, int dy,
 {
     const int w = v.w, h = v.h, nd = v.nd;
     const simd::Kernels &k = simd::kernels();
-    PathScratch prev_row(nd, w), cur_row(nd, w);
-    std::vector<uint16_t> prev_min(w, 0), cur_min(w, 0);
+    PathScratch prev_row(nd, w, ctx.buffers());
+    PathScratch cur_row(nd, w, ctx.buffers());
+    auto prev_min = ctx.buffers().acquireZeroed<uint16_t>(size_t(w));
+    auto cur_min = ctx.buffers().acquireZeroed<uint16_t>(size_t(w));
     const int y_begin = dy > 0 ? 0 : h - 1;
     for (int i = 0; i < h; ++i) {
         const int y = y_begin + i * dy;
@@ -214,16 +222,18 @@ subpixelOffset(uint32_t cm, uint32_t c0, uint32_t cp)
     return static_cast<float>(clamp(off, -0.5, 0.5));
 }
 
-} // namespace
-
-std::vector<uint64_t>
-censusTransform(const image::Image &img, int radius,
-                const ExecContext &ctx)
+/**
+ * censusTransform() into caller-provided storage of w * h entries —
+ * the pooled path sgmCostVolume() uses (per-chunk row-pointer
+ * scratch comes from the context's BufferPool too).
+ */
+void
+censusInto(const image::Image &img, int radius,
+           const ExecContext &ctx, uint64_t *census)
 {
     fatal_if(radius < 1 || radius > 3,
              "census radius must be in [1, 3] (bits must fit uint64)");
     const int w = img.width(), h = img.height();
-    std::vector<uint64_t> census(int64_t(w) * h);
     const simd::Kernels &k = simd::kernels();
     // The dispatched kernel covers [radius, w - radius); the clamped
     // borders run the same scalar code at every SIMD level.
@@ -231,14 +241,15 @@ censusTransform(const image::Image &img, int radius,
     const int x_hi = std::max(x_lo, w - radius);
     // Rows are independent; each writes a disjoint slice of census.
     ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
-        std::vector<const float *> rows(2 * radius + 1);
+        auto rows = ctx.buffers().acquire<const float *>(
+            size_t(2 * radius + 1));
         for (int y = int(y0); y < int(y1); ++y) {
             for (int dy = -radius; dy <= radius; ++dy) {
-                rows[dy + radius] =
+                rows[size_t(dy + radius)] =
                     img.data() +
                     int64_t(clamp(y + dy, 0, h - 1)) * w;
             }
-            uint64_t *out = census.data() + int64_t(y) * w;
+            uint64_t *out = census + int64_t(y) * w;
             auto borderPixel = [&](int x) {
                 const float center = img.at(x, y);
                 uint64_t bits = 0;
@@ -262,6 +273,17 @@ censusTransform(const image::Image &img, int radius,
                 borderPixel(x);
         }
     });
+}
+
+} // namespace
+
+std::vector<uint64_t>
+censusTransform(const image::Image &img, int radius,
+                const ExecContext &ctx)
+{
+    std::vector<uint64_t> census(int64_t(img.width()) *
+                                 img.height());
+    censusInto(img, radius, ctx, census.data());
     return census;
 }
 
@@ -281,14 +303,15 @@ sgmCostVolume(const image::Image &left, const image::Image &right,
     const int w = left.width(), h = left.height();
     const int nd = params.maxDisparity + 1;
 
-    const auto cl = censusTransform(left, params.censusRadius, ctx);
-    const auto cr = censusTransform(right, params.censusRadius, ctx);
+    // Census bit strings live in pooled scratch: they die with this
+    // call, and the next frame's census recycles them.
+    auto cl = ctx.buffers().acquire<uint64_t>(size_t(int64_t(w) * h));
+    auto cr = ctx.buffers().acquire<uint64_t>(size_t(int64_t(w) * h));
+    censusInto(left, params.censusRadius, ctx, cl.data());
+    censusInto(right, params.censusRadius, ctx, cr.data());
 
     CostVolume vol;
-    vol.width = w;
-    vol.height = h;
-    vol.nd = nd;
-    vol.cost.resize(vol.size());
+    vol.acquire(ctx.buffers(), w, h, nd);
     const simd::Kernels &k = simd::kernels();
     ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
         for (int y = int(y0); y < int(y1); ++y) {
@@ -340,10 +363,12 @@ sgmCompute(const image::Image &left, const image::Image &right,
     // layout the XOR+popcount kernel wants), then one transpose to
     // pixel-major so every pixel's nd disparities are the contiguous
     // uint16 lanes the aggregateRow kernel consumes. The d-major
-    // volume is released right after: steady-state footprint is
-    // unchanged.
+    // volume is released to the pool right after — the steady-state
+    // footprint is unchanged, and the next frame's d-major volume
+    // recycles it.
     CostVolume vol = sgmCostVolume(left, right, params, ctx);
-    std::vector<uint16_t> cost_pm(vol.size());
+    auto cost_pm =
+        ctx.buffers().acquire<uint16_t>(size_t(vol.size()));
     ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
         for (int y = int(y0); y < int(y1); ++y) {
             for (int d = 0; d < nd; ++d) {
@@ -355,7 +380,7 @@ sgmCompute(const image::Image &left, const image::Image &right,
             }
         }
     });
-    vol.cost = std::vector<uint16_t>();
+    vol.release();
 
     // 2. Eight-path aggregation through the dispatched aggregateRow
     // kernel. Each pass parallelizes internally (rows / column strips
@@ -365,7 +390,8 @@ sgmCompute(const image::Image &left, const image::Image &right,
     // serial loop for any worker count and SIMD level. Penalties
     // above 0xFFFF can never win the min, so clamping preserves the
     // unclamped semantics (see AggregateRowFn).
-    std::vector<uint32_t> total(int64_t(w) * h * nd, 0);
+    auto total = ctx.buffers().acquireZeroed<uint32_t>(
+        size_t(int64_t(w) * h * nd));
     const AggregateView view{
         cost_pm.data(),
         total.data(),
@@ -381,7 +407,8 @@ sgmCompute(const image::Image &left, const image::Image &right,
 
     // 3. Winner-take-all with sub-pixel refinement; each pixel's
     // disparity slice is a contiguous scan in the pixel-major layout.
-    DisparityMap disp(w, h);
+    // Every pixel is written, so the pooled map skips the clear.
+    DisparityMap disp = image::acquireImageUninit(ctx.buffers(), w, h);
     ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
         for (int y = int(y0); y < int(y1); ++y) {
             for (int x = 0; x < w; ++x) {
@@ -407,7 +434,8 @@ sgmCompute(const image::Image &left, const image::Image &right,
     // 4. Left-right consistency check on the aggregated volume:
     // disparity of right pixel xr is argmin_d total(xr + d, y, d).
     if (params.leftRightCheck) {
-        DisparityMap right_disp(w, h);
+        DisparityMap right_disp =
+            image::acquireImageUninit(ctx.buffers(), w, h);
         ctx.parallelFor(0, h, [&](int64_t y0, int64_t y1) {
             for (int y = int(y0); y < int(y1); ++y) {
                 for (int xr = 0; xr < w; ++xr) {

@@ -14,8 +14,11 @@
 #define ASV_STEREO_SGM_HH
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/buffer_pool.hh"
 #include "common/exec_context.hh"
 #include "image/image.hh"
 #include "stereo/disparity.hh"
@@ -62,6 +65,84 @@ struct CostVolume
     int width = 0, height = 0, nd = 0;
     std::vector<uint16_t> cost;
 
+    CostVolume() = default;
+
+    /** A copy is a plain (non-pooled) value. */
+    CostVolume(const CostVolume &other)
+        : width(other.width), height(other.height), nd(other.nd),
+          cost(other.cost)
+    {
+    }
+
+    CostVolume &
+    operator=(const CostVolume &other)
+    {
+        if (this != &other) {
+            width = other.width;
+            height = other.height;
+            nd = other.nd;
+            cost = other.cost; // reuses capacity when possible
+        }
+        return *this;
+    }
+
+    /** Moves transfer the storage and its pool backref. */
+    CostVolume(CostVolume &&other) noexcept
+        : width(other.width), height(other.height), nd(other.nd),
+          cost(std::move(other.cost)), pool_(std::move(other.pool_))
+    {
+        other.width = other.height = other.nd = 0;
+    }
+
+    CostVolume &
+    operator=(CostVolume &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            width = other.width;
+            height = other.height;
+            nd = other.nd;
+            cost = std::move(other.cost);
+            pool_ = std::move(other.pool_);
+            other.width = other.height = other.nd = 0;
+        }
+        return *this;
+    }
+
+    ~CostVolume() { release(); }
+
+    /**
+     * Size this volume for (w, h, num_d) with cost storage drawn
+     * from @p pool (shelved back on destruction or release()).
+     * Contents unspecified — sgmCostVolume() writes every cell.
+     */
+    void
+    acquire(BufferPool &pool, int w, int h, int num_d)
+    {
+        release();
+        width = w;
+        height = h;
+        nd = num_d;
+        cost = pool.state()->take<uint16_t>(
+            size_t(int64_t(w) * h * num_d), false);
+        pool_ = pool.state();
+    }
+
+    /**
+     * Return the cost storage to its pool (or free it) now; the
+     * dimensions stay. sgmCompute() releases the d-major volume as
+     * soon as it is transposed, halving the stage's footprint.
+     */
+    void
+    release() noexcept
+    {
+        if (pool_) {
+            pool_->give(std::move(cost));
+            pool_.reset();
+        }
+        cost = std::vector<uint16_t>();
+    }
+
     int64_t
     idx(int x, int y, int d) const
     {
@@ -79,6 +160,9 @@ struct CostVolume
     }
 
     int64_t size() const { return int64_t(width) * height * nd; }
+
+  private:
+    std::shared_ptr<detail::PoolState> pool_; //!< null = plain value
 };
 
 /**

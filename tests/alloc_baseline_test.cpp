@@ -5,18 +5,18 @@
  * Measures, with asv::debug::AllocScope, how many heap allocations
  * one warm compute() of each registry engine performs (BM, SGM, and
  * the guided refiner on its guided path), and diffs the counts
- * against the committed BASELINE_alloc.json. This is the measurement
- * half of the ROADMAP's zero-allocation BufferPool item: when the
- * pool lands, the baseline drops toward zero and this test is the
- * proof; until then it catches accidental per-pixel allocations in
- * hot loops (one alloc per pixel ≈ a 1000x jump — far outside the
- * band).
+ * against the committed BASELINE_alloc.json.
  *
- * The band is deliberately loose (x1.5 + 64 up, x0.5 - 64 down):
- * allocation counts are exact for a given libstdc++ but drift a few
- * percent across standard-library versions (SSO thresholds, deque
- * block sizes). A structural change lands far outside; refresh the
- * baseline with:
+ * With the BufferPool arena in place the contract is *exact*: a
+ * pooled engine (baseline allocsPerFrame == 0) must perform zero
+ * heap allocations and zero bytes per warm frame — no band, no
+ * tolerance. A single allocation sneaking into any hot path fails
+ * the gate. The only banded quantity left is the one-time warm-up
+ * cost (warmupBytes: the first frames that populate the pool), which
+ * legitimately drifts across standard-library versions — it is gated
+ * upper-bound-only, x3 + 64 KiB, to catch a working set blowing up.
+ * Engines with a non-zero committed baseline (none today) keep the
+ * old loose band. Refresh after an intentional change with:
  *
  *     ASV_ALLOC_BASELINE_WRITE=1 ./build/alloc_baseline_test
  */
@@ -48,6 +48,7 @@ struct EngineBaseline
 {
     uint64_t allocsPerFrame = 0;
     uint64_t bytesPerFrame = 0;
+    uint64_t warmupBytes = 0; //!< one-time pool-population cost
 };
 
 std::string
@@ -99,7 +100,8 @@ readBaseline(const std::string &path)
             continue;
         EngineBaseline b;
         if (numberAfter(at, "allocsPerFrame", b.allocsPerFrame) &&
-            numberAfter(at, "bytesPerFrame", b.bytesPerFrame))
+            numberAfter(at, "bytesPerFrame", b.bytesPerFrame) &&
+            numberAfter(at, "warmupBytes", b.warmupBytes))
             out[engine] = b;
     }
     return out;
@@ -113,39 +115,55 @@ writeBaseline(const std::string &path,
     out << "{\n";
     out << "  \"_comment\": \"Steady-state per-frame heap-allocation "
            "counts per registry engine (96x64 pair, maxDisparity=32, "
-           "2-worker pool). Diffed by alloc_baseline_test; refresh "
-           "with ASV_ALLOC_BASELINE_WRITE=1 "
-           "./build/alloc_baseline_test.\",\n";
+           "2-worker pool). allocsPerFrame == 0 is enforced exactly "
+           "(the BufferPool zero-allocation contract); warmupBytes "
+           "is the banded one-time pool-population cost. Diffed by "
+           "alloc_baseline_test; refresh with "
+           "ASV_ALLOC_BASELINE_WRITE=1 ./build/alloc_baseline_test."
+           "\",\n";
     size_t i = 0;
     for (const auto &[name, b] : entries) {
         out << "  \"" << name << "\": {\"allocsPerFrame\": "
             << b.allocsPerFrame
-            << ", \"bytesPerFrame\": " << b.bytesPerFrame << "}"
+            << ", \"bytesPerFrame\": " << b.bytesPerFrame
+            << ", \"warmupBytes\": " << b.warmupBytes << "}"
             << (++i == entries.size() ? "" : ",") << "\n";
     }
     out << "}\n";
 }
 
 /**
- * The gate: a measured count is acceptable within a loose band
- * around the committed baseline. Exposed as a function so the test
- * below can also prove the negative (a simulated hot-loop allocation
- * must land outside).
+ * The gate. For pooled engines (committed baseline of zero) the
+ * steady-state contract is exact: zero allocations, zero bytes, no
+ * band — any hot-loop allocation fails. Engines with a non-zero
+ * baseline keep the historical loose band (x1.5 + 64 up, x0.5 - 64
+ * down; counts drift slightly across standard-library versions).
+ * The one-time warm-up bytes stay banded in the blow-up direction
+ * only. Exposed as a function so the test below can also prove the
+ * negative (a simulated hot-loop allocation must land outside).
  */
 bool
 withinBand(const EngineBaseline &measured, const EngineBaseline &base)
 {
-    const auto upper = [](uint64_t v) { return v + v / 2 + 64; };
-    const auto lower = [](uint64_t v) {
-        return v / 2 > 64 ? v / 2 - 64 : 0;
-    };
-    if (measured.allocsPerFrame > upper(base.allocsPerFrame))
-        return false;
-    if (measured.allocsPerFrame < lower(base.allocsPerFrame))
-        return false;
-    // Bytes are a coarser signal (vector growth policies differ
-    // more); gate only the blow-up direction.
-    if (measured.bytesPerFrame > 3 * base.bytesPerFrame + 4096)
+    if (base.allocsPerFrame == 0) {
+        if (measured.allocsPerFrame != 0 ||
+            measured.bytesPerFrame != 0)
+            return false;
+    } else {
+        const auto upper = [](uint64_t v) { return v + v / 2 + 64; };
+        const auto lower = [](uint64_t v) {
+            return v / 2 > 64 ? v / 2 - 64 : 0;
+        };
+        if (measured.allocsPerFrame > upper(base.allocsPerFrame))
+            return false;
+        if (measured.allocsPerFrame < lower(base.allocsPerFrame))
+            return false;
+        // Bytes are a coarser signal (vector growth policies differ
+        // more); gate only the blow-up direction.
+        if (measured.bytesPerFrame > 3 * base.bytesPerFrame + 4096)
+            return false;
+    }
+    if (measured.warmupBytes > 3 * base.warmupBytes + (64u << 10))
         return false;
     return true;
 }
@@ -157,7 +175,7 @@ class AllocBaseline : public ::testing::Test
     static constexpr int kWarmFrames = 3;
     static constexpr int kMeasuredFrames = 10;
 
-    AllocBaseline() : pool_(2), ctx_(pool_)
+    AllocBaseline() : pool_(2), ctx_(pool_, buffers_)
     {
         data::SceneConfig cfg;
         cfg.width = 96;
@@ -171,14 +189,20 @@ class AllocBaseline : public ::testing::Test
 
     /**
      * Median per-frame counts of @p body over kMeasuredFrames warm
-     * iterations (after kWarmFrames discarded warm-up runs).
+     * iterations, plus the bytes the kWarmFrames warm-up runs
+     * allocated while populating the pool.
      */
     template <typename Fn>
     EngineBaseline
     measure(Fn &&body)
     {
-        for (int i = 0; i < kWarmFrames; ++i)
-            body();
+        uint64_t warmup_bytes = 0;
+        {
+            debug::AllocScope warm_scope;
+            for (int i = 0; i < kWarmFrames; ++i)
+                body();
+            warmup_bytes = warm_scope.counts().bytes;
+        }
         std::vector<uint64_t> allocs, bytes;
         for (int i = 0; i < kMeasuredFrames; ++i) {
             debug::AllocScope scope;
@@ -194,7 +218,8 @@ class AllocBaseline : public ::testing::Test
         EXPECT_LE(allocs.back() - allocs.front(),
                   allocs.front() / 10 + 8)
             << "per-frame allocation count is not steady";
-        return {allocs[allocs.size() / 2], bytes[bytes.size() / 2]};
+        return {allocs[allocs.size() / 2], bytes[bytes.size() / 2],
+                warmup_bytes};
     }
 
     std::map<std::string, EngineBaseline>
@@ -227,6 +252,7 @@ class AllocBaseline : public ::testing::Test
 
     data::StereoSequence seq_;
     ThreadPool pool_;
+    BufferPool buffers_;
     ExecContext ctx_;
 };
 
@@ -238,10 +264,12 @@ TEST_F(AllocBaseline, SteadyStateCountsMatchCommittedBaseline)
         writeBaseline(baselinePath(), measured);
         std::printf("wrote %s\n", baselinePath().c_str());
         for (const auto &[name, b] : measured)
-            std::printf("  %-6s allocsPerFrame=%llu bytesPerFrame=%llu\n",
+            std::printf("  %-6s allocsPerFrame=%llu "
+                        "bytesPerFrame=%llu warmupBytes=%llu\n",
                         name.c_str(),
                         (unsigned long long)b.allocsPerFrame,
-                        (unsigned long long)b.bytesPerFrame);
+                        (unsigned long long)b.bytesPerFrame,
+                        (unsigned long long)b.warmupBytes);
         GTEST_SKIP() << "baseline regenerated, comparison skipped";
     }
 

@@ -8,8 +8,12 @@
 
 #include <cstdio>
 #include <numeric>
+#include <type_traits>
+#include <utility>
 
+#include "common/buffer_pool.hh"
 #include "common/rng.hh"
+#include "debug/alloc_tracker.hh"
 #include "image/image.hh"
 #include "image/io.hh"
 #include "image/ops.hh"
@@ -37,6 +41,39 @@ TEST(Image, BasicAccess)
     EXPECT_EQ(img.size(), 12);
     img.at(2, 1) = 7.f;
     EXPECT_FLOAT_EQ(img.at(2, 1), 7.f);
+}
+
+TEST(Image, MovesAreNoexceptAndNeverCopy)
+{
+    // The containers the pool recycles must be nothrow-movable so
+    // vector growth, std::move returns and swap never degrade to
+    // copies (a copy would both allocate and detach the pool
+    // backref).
+    static_assert(std::is_nothrow_move_constructible_v<Image>);
+    static_assert(std::is_nothrow_move_assignable_v<Image>);
+
+    asv::BufferPool pool;
+    Image img = acquireImage(pool, 64, 48);
+    img.at(3, 2) = 5.f;
+    const float *storage = img.data();
+
+    // A copy sneaking into the move path would show up here as an
+    // allocation (and a different data pointer).
+    asv::debug::AllocScope scope;
+    Image moved(std::move(img));
+    Image target;
+    target = std::move(moved);
+    EXPECT_EQ(0u, scope.counts().allocs)
+        << "a copy sneaked into the move path";
+    EXPECT_EQ(storage, target.data());
+    EXPECT_FLOAT_EQ(5.f, target.at(3, 2));
+
+    // The pool backref traveled with the moves: destroying the
+    // final owner shelves the storage for reuse.
+    target = Image();
+    EXPECT_EQ(1u, pool.stats().residentBuffers);
+    Image again = acquireImageUninit(pool, 64, 48);
+    EXPECT_EQ(storage, again.data());
 }
 
 TEST(Image, ClampedReads)
