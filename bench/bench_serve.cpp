@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Serving-frontend throughput: aggregate frames/second as the
+ * stream count scales 1 -> 64 over one shared worker pool, and the
+ * shed rate once demand outruns capacity. items_per_second counts
+ * *completed* frames across all streams; the oversubscription
+ * benchmark reports shed_rate (shed / accepted) as a counter — the
+ * quantity of interest there is not speed but how gracefully the
+ * bounded queues degrade (every shed frame is still delivered to
+ * the callback, so the work accounting stays exact).
+ *
+ * run_benchmarks.sh appends these datapoints to BENCH_kernels.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/scene.hh"
+#include "serve/server.hh"
+#include "stereo/matcher.hh"
+
+namespace
+{
+
+using namespace asv;
+using namespace asv::serve;
+
+constexpr int kFramesPerStream = 12;
+
+/** The bench scene: short 96x64 synthetic clips, one per stream
+ *  seed (cycled when a stream outlives its clip). */
+const data::StereoSequence &
+benchScene(int seed)
+{
+    static const std::vector<data::StereoSequence> clips = [] {
+        data::SceneConfig cfg;
+        cfg.width = 96;
+        cfg.height = 64;
+        cfg.maxDisparity = 14.f;
+        std::vector<data::StereoSequence> out;
+        for (uint64_t s = 0; s < 4; ++s)
+            out.push_back(data::generateSequence(cfg, 6, 300 + s));
+        return out;
+    }();
+    return clips[static_cast<size_t>(seed) % clips.size()];
+}
+
+std::shared_ptr<const stereo::Matcher>
+benchMatcher()
+{
+    static const std::shared_ptr<const stereo::Matcher> m =
+        stereo::makeMatcher("bm", "maxDisparity=16,blockRadius=2");
+    return m;
+}
+
+StreamConfig
+benchStream(int max_queued, std::vector<ServeResult> *sink)
+{
+    StreamConfig cfg;
+    cfg.params.propagationWindow = 4;
+    cfg.params.maxDisparity = 16;
+    cfg.matcher = benchMatcher();
+    cfg.maxQueued = max_queued;
+    cfg.maxInFlight = 2;
+    cfg.onResult = [sink](ServeResult &&r) {
+        sink->push_back(std::move(r));
+    };
+    return cfg;
+}
+
+/** Arg = concurrent streams; queues sized so nothing sheds — pure
+ *  aggregate throughput of the shared pool + dispatcher. */
+void
+BM_ServeAggregateFps(benchmark::State &state)
+{
+    const int streams = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        ServerConfig sc;
+        sc.queueCapacity = 256;
+        Server server(sc);
+        std::vector<std::vector<ServeResult>> sinks(
+            static_cast<size_t>(streams));
+        std::vector<StreamId> ids;
+        for (int s = 0; s < streams; ++s)
+            ids.push_back(server.openStream(benchStream(
+                kFramesPerStream, &sinks[static_cast<size_t>(s)])));
+        for (int f = 0; f < kFramesPerStream; ++f) {
+            for (int s = 0; s < streams; ++s) {
+                const auto &clip = benchScene(s).frames;
+                const auto &frame =
+                    clip[static_cast<size_t>(f) % clip.size()];
+                server.submit(ids[static_cast<size_t>(s)],
+                              frame.left, frame.right);
+            }
+        }
+        server.drain();
+        server.stop();
+        benchmark::DoNotOptimize(sinks);
+    }
+    state.SetItemsProcessed(state.iterations() * streams *
+                            kFramesPerStream);
+}
+BENCHMARK(BM_ServeAggregateFps)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseRealTime();
+
+/**
+ * 2x oversubscription: twice as many always-busy streams as the
+ * pool has workers, tiny pending queues, clients flooding as fast
+ * as the ring admits. shed_rate is the fraction of accepted frames
+ * the bounded queues dropped (and reported) to keep up.
+ */
+void
+BM_ServeOversubscribed(benchmark::State &state)
+{
+    int64_t accepted = 0;
+    int64_t shed = 0;
+    for (auto _ : state) {
+        ServerConfig sc;
+        sc.queueCapacity = 64;
+        Server server(sc);
+        const int streams = 2 * server.stats().workers;
+        std::vector<std::vector<ServeResult>> sinks(
+            static_cast<size_t>(streams));
+        std::vector<StreamId> ids;
+        for (int s = 0; s < streams; ++s)
+            ids.push_back(server.openStream(benchStream(
+                /*max_queued=*/4, &sinks[static_cast<size_t>(s)])));
+        for (int f = 0; f < 4 * kFramesPerStream; ++f) {
+            for (int s = 0; s < streams; ++s) {
+                const auto &clip = benchScene(s).frames;
+                const auto &frame =
+                    clip[static_cast<size_t>(f) % clip.size()];
+                server.submit(ids[static_cast<size_t>(s)],
+                              frame.left, frame.right);
+            }
+        }
+        server.drain();
+        const ServerStats stats = server.stats();
+        server.stop();
+        accepted += stats.accepted;
+        for (const auto &s : stats.streams)
+            shed += s.shed;
+        benchmark::DoNotOptimize(sinks);
+    }
+    state.SetItemsProcessed(accepted);
+    state.counters["shed_rate"] = benchmark::Counter(
+        accepted > 0 ? static_cast<double>(shed) /
+                           static_cast<double>(accepted)
+                     : 0.0);
+}
+BENCHMARK(BM_ServeOversubscribed)->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

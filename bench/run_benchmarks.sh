@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Run the kernel microbenchmarks, the frames-in-flight streaming
-# benchmark, and the engine-API dispatch-overhead benchmark, and
+# benchmark, the engine-API dispatch-overhead benchmark, and the
+# multi-stream serving benchmark, and
 # record the combined results as JSON, seeding the perf trajectory
 # tracked across PRs. The kernel run includes BM_SteadyStateAlloc,
 # whose allocs_per_frame / pool_hit_rate counters record the
@@ -82,12 +83,14 @@ if [[ $RUN -eq 1 ]]; then
 # "library_build_type": "debug").
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target bench_kernels bench_stream \
-    bench_matcher_dispatch
+    bench_matcher_dispatch bench_serve
 
 KERNELS_JSON="$(mktemp)"
 STREAM_JSON="$(mktemp)"
 DISPATCH_JSON="$(mktemp)"
-trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON"' EXIT
+SERVE_JSON="$(mktemp)"
+trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" \
+    "$SERVE_JSON"' EXIT
 
 "$BUILD_DIR/bench_kernels" \
     --benchmark_format=json \
@@ -104,6 +107,11 @@ trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON"' EXIT
     --benchmark_out="$DISPATCH_JSON" \
     --benchmark_out_format=json
 
+"$BUILD_DIR/bench_serve" \
+    --benchmark_format=json \
+    --benchmark_out="$SERVE_JSON" \
+    --benchmark_out_format=json
+
 # Append the streaming and dispatch datapoints to the kernel
 # results so one file carries the whole trajectory, and stamp the
 # asv build type actually configured (google-benchmark's own
@@ -112,7 +120,8 @@ ASV_BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
     "$BUILD_DIR/CMakeCache.txt")"
 if command -v python3 >/dev/null 2>&1; then
     ASV_BUILD_TYPE="$ASV_BUILD_TYPE" \
-    python3 - "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" "$OUT" <<'PY'
+    python3 - "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" \
+        "$SERVE_JSON" "$OUT" <<'PY'
 import json, os, sys
 kernels, extras, out = sys.argv[1], sys.argv[2:-1], sys.argv[-1]
 with open(kernels) as f:
@@ -128,10 +137,12 @@ with open(out, "w") as f:
 PY
 elif command -v jq >/dev/null 2>&1; then
     ASV_BUILD_TYPE="$ASV_BUILD_TYPE" jq -s \
-        '.[0].benchmarks += (.[1].benchmarks + .[2].benchmarks)
+        '.[0].benchmarks += (.[1].benchmarks + .[2].benchmarks
+                             + .[3].benchmarks)
          | .[0].context.asv_build_type = env.ASV_BUILD_TYPE
          | .[0]' \
-        "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" > "$OUT"
+        "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" \
+        "$SERVE_JSON" > "$OUT"
 else
     echo "neither python3 nor jq available; writing kernels only" >&2
     cp "$KERNELS_JSON" "$OUT"

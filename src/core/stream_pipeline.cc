@@ -1,5 +1,6 @@
 #include "core/stream_pipeline.hh"
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -69,28 +70,56 @@ StreamPipeline::StreamPipeline(
     fatal_if(stream.workers < 0, "workers must be >= 0");
 
     maxInFlight_ = stream.maxInFlight;
-    workers_ = stream.workers > 0 ? stream.workers
-                                  : ThreadPool::defaultThreads();
-    // A pool of N owns N - 1 OS threads because parallelFor() callers
-    // execute one chunk themselves; submit() callers do not, so +1
-    // yields exactly workers_ executor threads for the stages.
-    pool_ = std::make_unique<ThreadPool>(workers_ + 1);
+    if (stream.sharedPool) {
+        // Multiplexed serving: many pipelines on one injected pool.
+        // The pool needs at least one worker thread — a pool of 1
+        // runs submit() tasks inline, which would make a blocking
+        // propagate stage deadlock the dispatcher.
+        fatal_if(stream.sharedPool->numThreads() < 2,
+                 "a shared StreamPipeline pool needs >= 2 threads "
+                 "(N - 1 stage executors)");
+        pool_ = stream.sharedPool;
+        workers_ = pool_->numThreads() - 1;
+    } else {
+        workers_ = stream.workers > 0 ? stream.workers
+                                      : ThreadPool::defaultThreads();
+        // A pool of N owns N - 1 OS threads because parallelFor()
+        // callers execute one chunk themselves; submit() callers do
+        // not, so +1 yields exactly workers_ executor threads for
+        // the stages.
+        pool_ = std::make_shared<ThreadPool>(workers_ + 1);
+    }
 }
 
 StreamPipeline::~StreamPipeline()
 {
-    // Joining the pool drains every queued stage; the stage lambdas
-    // only capture values and members that outlive this statement.
+    // Every stage lambda captures `this`, so all of them must have
+    // retired before the members go away. The completion counter
+    // covers exactly that: a frame's final stage bumps completed_,
+    // and its completion implies its flow-stage futures were
+    // consumed. Waiting here (instead of relying on the pool join)
+    // is what makes an injected shared pool safe — other pipelines'
+    // stages keep running on it after this one is gone.
+    {
+        MutexLock lock(mutex_);
+        while (completed_ < submitted_)
+            lock.wait(backpressure_);
+    }
+    // Private pool: last owner, joins the executors. Shared pool:
+    // just drops the reference.
     pool_.reset();
 }
 
 void
 StreamPipeline::markFrameComplete()
 {
-    {
-        MutexLock lock(mutex_);
-        ++completed_;
-    }
+    // Notify under the lock: the destructor may be waiting on
+    // backpressure_, and with a shared executor pool nothing else
+    // keeps this object alive until an unlocked notify finishes —
+    // the waiter must not be able to wake, destroy the pipeline,
+    // and leave this thread touching a dead condition variable.
+    MutexLock lock(mutex_);
+    ++completed_;
     backpressure_.notify_all();
 }
 
@@ -99,6 +128,23 @@ StreamPipeline::inFlight() const
 {
     MutexLock lock(mutex_);
     return static_cast<int>(submitted_ - completed_);
+}
+
+StreamPipeline::Stats
+StreamPipeline::stats() const
+{
+    MutexLock lock(mutex_);
+    return {submitted_, completed_,
+            static_cast<int>(submitted_ - completed_)};
+}
+
+bool
+StreamPipeline::frontReady() const
+{
+    if (slots_.empty())
+        return false;
+    return slots_.front().disparity.wait_for(
+               std::chrono::seconds(0)) == std::future_status::ready;
 }
 
 int64_t

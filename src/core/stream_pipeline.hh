@@ -99,8 +99,24 @@ struct StreamParams
     /**
      * Dedicated executor threads running the frame stages.
      * 0 = ThreadPool::defaultThreads() (honours ASV_THREADS).
+     * Ignored when sharedPool is set.
      */
     int workers = 0;
+
+    /**
+     * Run the frame stages on this pool instead of a private one —
+     * the asv::serve pattern: one worker pool multiplexed across
+     * many co-resident pipelines, so N streams cost W threads, not
+     * N * W. The FIFO dependency-safety argument still holds across
+     * pipelines sharing a pool as long as every pipeline's stages
+     * are submitted from a single thread in dependency order (each
+     * pipeline's own single-driver contract): a stage only ever
+     * waits on futures of tasks enqueued before it, and FIFO
+     * execution pops those first. The pool must have at least one
+     * worker thread (size >= 2); a ThreadPool of N gives the
+     * pipelines N - 1 stage executors.
+     */
+    std::shared_ptr<ThreadPool> sharedPool;
 };
 
 /**
@@ -135,7 +151,8 @@ class StreamPipeline
                    std::unique_ptr<KeyFrameSequencer> sequencer,
                    StreamParams stream = {});
 
-    /** Waits for all in-flight frames, then joins the executors. */
+    /** Waits for all in-flight frames, then releases the executor
+     *  pool (joining it when this pipeline owns it privately). */
     ~StreamPipeline();
 
     StreamPipeline(const StreamPipeline &) = delete;
@@ -179,6 +196,29 @@ class StreamPipeline
     /** Frames submitted but whose disparity is not yet computed. */
     int inFlight() const;
 
+    /**
+     * Point-in-time streaming counters, safe to read from any
+     * thread — the external face of the backpressure accounting
+     * (the serving heartbeat reads this; see asv::serve).
+     */
+    struct Stats
+    {
+        int64_t submitted = 0; //!< frames accepted by submit()
+        int64_t completed = 0; //!< frames whose final stage retired
+        int inFlight = 0;      //!< submitted - completed
+    };
+    Stats stats() const;
+
+    /**
+     * True when the oldest undelivered frame's result is already
+     * computed, i.e. next() would return without blocking. Driver
+     * thread only (like next()); false when nothing is pending.
+     * This is what lets a multi-stream driver (asv::serve's
+     * dispatcher) collect results from many pipelines without ever
+     * parking on one of them.
+     */
+    bool frontReady() const;
+
     int maxInFlight() const { return maxInFlight_; }
     int workers() const { return workers_; }
     const IsmParams &params() const { return params_; }
@@ -213,7 +253,7 @@ class StreamPipeline
     std::unique_ptr<KeyFrameSequencer> sequencer_;
     int maxInFlight_ = 1;
     int workers_ = 1;
-    std::unique_ptr<ThreadPool> pool_;
+    std::shared_ptr<ThreadPool> pool_; //!< private or injected shared
     std::shared_ptr<BufferPool> buffers_ =
         std::make_shared<BufferPool>();
 
