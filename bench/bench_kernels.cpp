@@ -3,9 +3,12 @@
  * google-benchmark microbenchmarks of the functional kernels: the
  * reference deconvolution vs the transformed execution (the wall
  * clock counterpart of the op-count savings), Farnebäck flow, block
- * matching and SGM, plus a per-SIMD-level sweep of the census,
- * Hamming cost-volume, and SGM aggregation-row kernels (the
- * vector-vs-scalar datapoints tracked in BENCH_kernels.json). The
+ * matching and SGM — the streaming default plus its materialized,
+ * 4-path, and range-pruned variants, each reporting its peak
+ * resident arena bytes — plus a per-SIMD-level sweep of the census,
+ * Hamming cost-volume, SGM aggregation-row, and fused cost-row
+ * kernels (the vector-vs-scalar datapoints tracked in
+ * BENCH_kernels.json). The
  * benchmark context records the dispatched ISA (asv_simd) so
  * trajectory comparisons across hosts stay meaningful.
  */
@@ -121,24 +124,98 @@ BM_BlockMatchingGuided(benchmark::State &state)
 }
 BENCHMARK(BM_BlockMatchingGuided)->Arg(64)->Arg(128);
 
+/**
+ * Shared driver for the SGM wall-clock/footprint variants. Each
+ * variant runs against its own arena so the `resident_bytes`
+ * counter isolates that engine's peak working set: between frames
+ * every pool handle has been released back to the shelves, so the
+ * shelved bytes ARE the engine's resident footprint — the number
+ * the streaming path is meant to collapse versus the materialized
+ * cost volume.
+ */
 void
-BM_Sgm(benchmark::State &state)
+runSgmVariant(benchmark::State &state, const stereo::SgmParams &p,
+              bool guided)
 {
     Rng rng(6);
     const int n = int(state.range(0));
     image::Image left = data::makeTexture(n, n, 8.f, rng);
     image::Image right = data::makeTexture(n, n, 8.f, rng);
+    stereo::DisparityMap guide;
+    if (guided) // seed the per-row windows from a full-range pass
+        guide = stereo::sgmCompute(left, right, p);
+    BufferPool buffers;
+    const ExecContext ctx(ThreadPool::global(), buffers);
+    for (auto _ : state) {
+        if (guided)
+            benchmark::DoNotOptimize(stereo::sgmComputeGuided(
+                left, right, guide, p, ctx));
+        else
+            benchmark::DoNotOptimize(
+                stereo::sgmCompute(left, right, p, ctx));
+    }
+    state.counters["resident_bytes"] =
+        benchmark::Counter(double(buffers.stats().residentBytes));
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+void
+BM_Sgm(benchmark::State &state)
+{
     stereo::SgmParams p;
     p.maxDisparity = 32;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            stereo::sgmCompute(left, right, p));
-    state.SetItemsProcessed(state.iterations() * n * n);
+    runSgmVariant(state, p, false);
 }
 // 256² is the reference point for the parallel-speedup trajectory:
 // compare ASV_THREADS=1 against ASV_THREADS=4+ (UseRealTime makes
 // the wall clock, not the calling thread's CPU time, the metric).
-BENCHMARK(BM_Sgm)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
+// 512/1024 are the streaming-SGM datapoints: at these sizes the
+// materialized volume no longer fits in LLC, so the fused default
+// is where the tile-resident restructure pays off.
+BENCHMARK(BM_Sgm)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->UseRealTime();
+
+void
+BM_SgmMaterialized(benchmark::State &state)
+{
+    // The pre-restructure reference (fused=0): full census images +
+    // cost volume resident across the aggregation passes. Compare
+    // real_time and resident_bytes against BM_Sgm at the same size.
+    stereo::SgmParams p;
+    p.maxDisparity = 32;
+    p.fused = false;
+    runSgmVariant(state, p, false);
+}
+BENCHMARK(BM_SgmMaterialized)->Arg(256)->Arg(1024)->UseRealTime();
+
+void
+BM_SgmPaths4(benchmark::State &state)
+{
+    // Single-sweep engine: drops the up directions and the down
+    // volume entirely, trading accuracy (see the README table) for
+    // one pass over the image and the smallest footprint.
+    stereo::SgmParams p;
+    p.maxDisparity = 32;
+    p.paths = 4;
+    runSgmVariant(state, p, false);
+}
+BENCHMARK(BM_SgmPaths4)->Arg(512)->Arg(1024)->UseRealTime();
+
+void
+BM_SgmRangePruned(benchmark::State &state)
+{
+    // ISM-style coarse-to-fine: per-row disparity windows seeded
+    // from a previous full-range result (default pruneMargin).
+    stereo::SgmParams p;
+    p.maxDisparity = 32;
+    runSgmVariant(state, p, true);
+}
+BENCHMARK(BM_SgmRangePruned)->Arg(512)->Arg(1024)->UseRealTime();
 
 void
 BM_SteadyStateAlloc(benchmark::State &state)
@@ -270,6 +347,33 @@ BM_AggregateRow(benchmark::State &state, simd::Level level)
     state.SetItemsProcessed(state.iterations() * (w - 1) * nd);
 }
 
+void
+BM_FusedCostRow(benchmark::State &state, simd::Level level)
+{
+    // The streaming-SGM inner producer: one image row of Hamming
+    // costs computed on the fly from two census rows, written into
+    // tile scratch instead of a resident volume. Matches the
+    // dispatched costRow kernel contract (full range: dlo=0,
+    // ndw=nd).
+    LevelGuard guard(level);
+    Rng rng(11);
+    const int nd = int(state.range(0));
+    const int w = 1024;
+    std::vector<uint64_t> cl(w), cr(w);
+    for (int x = 0; x < w; ++x) {
+        cl[x] = uint64_t(rng.uniformInt64(0, INT64_MAX));
+        cr[x] = uint64_t(rng.uniformInt64(0, INT64_MAX));
+    }
+    std::vector<uint16_t> out(int64_t(w) * nd);
+    const simd::Kernels &k = simd::kernels();
+    for (auto _ : state) {
+        k.costRow(cl.data(), cr.data(), w, 0, nd, out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * w * nd);
+}
+
 } // namespace
 
 int
@@ -290,6 +394,10 @@ main(int argc, char **argv)
             ->Arg(256);
         benchmark::RegisterBenchmark(
             ("BM_AggregateRow/" + suffix).c_str(), BM_AggregateRow,
+            level)
+            ->Arg(64);
+        benchmark::RegisterBenchmark(
+            ("BM_FusedCostRow/" + suffix).c_str(), BM_FusedCostRow,
             level)
             ->Arg(64);
     }

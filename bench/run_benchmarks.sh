@@ -26,9 +26,15 @@
 #                              are noisy; CI runs this step
 #                              advisory / continue-on-error)
 #   ASV_BENCH_CHECK_KERNELS    regex of benchmark names to gate
-#                              (default: the census, cost-volume and
-#                              aggregate-row SIMD sweeps plus the
-#                              end-to-end BM_Sgm/256 datapoint)
+#                              (default: the census, cost-volume,
+#                              aggregate-row and fused cost-row SIMD
+#                              sweeps plus the end-to-end
+#                              BM_Sgm/{256,512,1024} datapoints;
+#                              datapoints absent from the committed
+#                              baseline are reported as new and
+#                              skipped, so the gate degrades
+#                              gracefully when a baseline predates a
+#                              kernel)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -74,7 +80,7 @@ else
     OUT="${1:-BENCH_kernels.json}"
 fi
 THRESHOLD="${ASV_BENCH_CHECK_THRESHOLD:-1.5}"
-KERNELS="${ASV_BENCH_CHECK_KERNELS:-^BM_Census/|^BM_CostVolume/|^BM_AggregateRow/|^BM_Sgm/256}"
+KERNELS="${ASV_BENCH_CHECK_KERNELS:-^BM_Census/|^BM_CostVolume/|^BM_AggregateRow/|^BM_FusedCostRow/|^BM_Sgm/(256|512|1024)}"
 
 if [[ $RUN -eq 1 ]]; then
 

@@ -19,7 +19,8 @@
  *
  *  - **Typed shelves, exact-shape keys.** The pool recycles
  *    `std::vector<T>` storage for a closed list of element types
- *    (float, double, uint16_t, uint32_t, uint64_t, const float *).
+ *    (float, double, uint8_t, uint16_t, uint32_t, uint64_t,
+ *    const float *).
  *    A shelf maps element count -> stack of idle buffers. Acquire
  *    with a count that has no idle buffer is a *miss* (a fresh
  *    vector is allocated); a shape mismatch never reuses or resizes
@@ -153,8 +154,9 @@ class PoolState
     void trimLocked(uint64_t target_bytes) ASV_REQUIRES(mutex_);
 
     Mutex mutex_;
-    std::tuple<Shelf<float>, Shelf<double>, Shelf<uint16_t>,
-               Shelf<uint32_t>, Shelf<uint64_t>, Shelf<const float *>>
+    std::tuple<Shelf<float>, Shelf<double>, Shelf<uint8_t>,
+               Shelf<uint16_t>, Shelf<uint32_t>, Shelf<uint64_t>,
+               Shelf<const float *>>
         shelves_ ASV_GUARDED_BY(mutex_);
     bool closed_ ASV_GUARDED_BY(mutex_) = false;
     uint64_t hits_ ASV_GUARDED_BY(mutex_) = 0;

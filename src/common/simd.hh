@@ -30,7 +30,9 @@
  * lane performs the exact double-precision accumulation sequence of
  * the scalar loop; the aggregation kernel's saturating uint16 lane
  * arithmetic provably reproduces the scalar clamped-uint32 order
- * (see AggregateRowFn). Adding an ISA means porting the four kernels
+ * (see AggregateRowFn); the fused pixel-major cost row (CostRowFn,
+ * feeding the streaming SGM without a resident volume) is again pure
+ * integer arithmetic. Adding an ISA means porting the five kernels
  * under the same contract (see README "SIMD backends").
  */
 
@@ -122,6 +124,29 @@ using AggregateRowFn = uint16_t (*)(const uint16_t *cost,
                                     uint16_t p1, uint16_t p2,
                                     uint16_t *cur, uint32_t *total);
 
+/**
+ * Fused census->Hamming cost row in pixel-major layout — the
+ * generation half of the streaming SGM fusion. Given one census row
+ * of the left image (@p cl) and the same row of the right image
+ * (@p cr), writes the matching-cost slice of every pixel for a dense
+ * window of @p ndw disparity candidates starting at @p dlo:
+ *
+ *   for x in [0, w), j in [0, ndw):
+ *     d = dlo + j
+ *     out[x * ndw + j] = popcount(cl[x] ^ cr[max(x - d, 0)])
+ *
+ * The x - d < 0 clamp reproduces the materialized path's border rule
+ * (candidates beyond the left edge compare against column 0). The
+ * layout is exactly the per-pixel slice AggregateRowFn consumes, so
+ * an aggregation wavefront can eat the row with no transpose and no
+ * resident volume. @p dlo > 0 with ndw < full range is the
+ * range-pruned mode's per-row search window.
+ *
+ * Pure integer XOR+popcount — bit-identity across levels is automatic.
+ */
+using CostRowFn = void (*)(const uint64_t *cl, const uint64_t *cr,
+                           int w, int dlo, int ndw, uint16_t *out);
+
 /** One ISA's kernel table. */
 struct Kernels
 {
@@ -131,6 +156,7 @@ struct Kernels
     HammingRowFn hammingRow;
     SadSpanFn sadSpan;
     AggregateRowFn aggregateRow;
+    CostRowFn costRow;
 };
 
 /**

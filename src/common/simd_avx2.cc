@@ -217,9 +217,55 @@ aggregateRowAvx2(const uint16_t *cost, const uint16_t *prev,
     return std::min(vec_min, tail_min);
 }
 
+void
+costRowAvx2(const uint64_t *cl, const uint64_t *cr, int w, int dlo,
+            int ndw, uint16_t *out)
+{
+    // Left-border pixels whose candidate window clamps to column 0
+    // take the shared reference loop; interior pixels popcount 4
+    // candidates per iteration by nibble lookup + SAD reduction.
+    // Candidate j reads cr[x - dlo - j] — descending addresses — so
+    // the ascending 4x64-bit load is stored back lane-reversed.
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2,
+        1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    const int x_interior = std::min(dlo + ndw - 1, w);
+    costRowRef(cl, cr, dlo, ndw, 0, std::max(x_interior, 0), out);
+    for (int x = std::max(x_interior, 0); x < w; ++x) {
+        const __m256i c = _mm256_set1_epi64x(int64_t(cl[x]));
+        const uint64_t *r = cr + x - dlo;
+        uint16_t *o = out + size_t(x) * size_t(ndw);
+        int j = 0;
+        for (; j + 4 <= ndw; j += 4) {
+            const __m256i rv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(r - j - 3));
+            const __m256i v = _mm256_xor_si256(c, rv);
+            const __m256i nlo = _mm256_and_si256(v, low);
+            const __m256i nhi =
+                _mm256_and_si256(_mm256_srli_epi64(v, 4), low);
+            const __m256i cnt =
+                _mm256_add_epi8(_mm256_shuffle_epi8(lut, nlo),
+                                _mm256_shuffle_epi8(lut, nhi));
+            const __m256i sums = _mm256_sad_epu8(cnt, zero);
+            alignas(32) uint64_t tmp[4];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(tmp),
+                               sums);
+            o[j] = static_cast<uint16_t>(tmp[3]);
+            o[j + 1] = static_cast<uint16_t>(tmp[2]);
+            o[j + 2] = static_cast<uint16_t>(tmp[1]);
+            o[j + 3] = static_cast<uint16_t>(tmp[0]);
+        }
+        for (; j < ndw; ++j)
+            o[j] = static_cast<uint16_t>(
+                _mm_popcnt_u64(cl[x] ^ r[-j]));
+    }
+}
+
 constexpr Kernels kAvx2Kernels = {
     "avx2", Level::Avx2, censusRowAvx2, hammingRowAvx2, sadSpanAvx2,
-    aggregateRowAvx2,
+    aggregateRowAvx2, costRowAvx2,
 };
 
 } // namespace

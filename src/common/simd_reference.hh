@@ -2,8 +2,9 @@
  * @file
  * Shared scalar reference loops for the SIMD kernel table.
  *
- * One definition of the census bit-pack, Hamming popcount, SAD
- * accumulation, and semi-global aggregation semantics, included by
+ * One definition of the census bit-pack, Hamming popcount, fused
+ * pixel-major cost row, SAD accumulation, and semi-global aggregation
+ * semantics, included by
  * every per-ISA translation unit: the scalar table uses them as its
  * kernels, and the vector tables use them for sub-vector tails.
  * Keeping a single copy means a future change to the encoding or
@@ -110,6 +111,34 @@ aggregateRowRef(const uint16_t *cost, const uint16_t *prev,
         cur_min = std::min(cur_min, c);
     }
     return cur_min;
+}
+
+/**
+ * Fused pixel-major cost row for pixels [x0, x1); see CostRowFn. The
+ * vector tables call this for per-pixel candidate tails and for the
+ * left-border pixels whose candidates clamp to column 0. For each
+ * pixel the first min(ndw, x - dlo + 1) candidates read descending
+ * right-census addresses; the rest all clamp to cr[0] and therefore
+ * share one popcount.
+ */
+inline void
+costRowRef(const uint64_t *cl, const uint64_t *cr, int dlo, int ndw,
+           int x0, int x1, uint16_t *out)
+{
+    for (int x = x0; x < x1; ++x) {
+        const uint64_t c = cl[x];
+        uint16_t *o = out + size_t(x) * size_t(ndw);
+        const int m = std::clamp(x - dlo + 1, 0, ndw);
+        for (int j = 0; j < m; ++j)
+            o[j] = static_cast<uint16_t>(
+                std::popcount(c ^ cr[x - dlo - j]));
+        if (m < ndw) {
+            const uint16_t edge =
+                static_cast<uint16_t>(std::popcount(c ^ cr[0]));
+            for (int j = m; j < ndw; ++j)
+                o[j] = edge;
+        }
+    }
 }
 
 } // namespace asv::simd::detail

@@ -47,9 +47,16 @@ aggregateRowScalar(const uint16_t *cost, const uint16_t *prev,
                            cur, total);
 }
 
+void
+costRowScalar(const uint64_t *cl, const uint64_t *cr, int w, int dlo,
+              int ndw, uint16_t *out)
+{
+    costRowRef(cl, cr, dlo, ndw, 0, w, out);
+}
+
 constexpr Kernels kScalarKernels = {
     "scalar", Level::Scalar, censusRowScalar, hammingRowScalar,
-    sadSpanScalar, aggregateRowScalar,
+    sadSpanScalar, aggregateRowScalar, costRowScalar,
 };
 
 } // namespace

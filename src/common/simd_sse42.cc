@@ -162,9 +162,38 @@ aggregateRowSse42(const uint16_t *cost, const uint16_t *prev,
     return std::min(vec_min, tail_min);
 }
 
+void
+costRowSse42(const uint64_t *cl, const uint64_t *cr, int w, int dlo,
+             int ndw, uint16_t *out)
+{
+    // Left-border pixels whose candidate window clamps to column 0
+    // take the shared reference loop; interior pixels run an
+    // unrolled hardware-POPCNT sweep over descending right-census
+    // addresses (candidate j reads cr[x - dlo - j]).
+    const int x_interior = std::min(dlo + ndw - 1, w);
+    costRowRef(cl, cr, dlo, ndw, 0, std::max(x_interior, 0), out);
+    for (int x = std::max(x_interior, 0); x < w; ++x) {
+        const uint64_t c = cl[x];
+        const uint64_t *r = cr + x - dlo;
+        uint16_t *o = out + size_t(x) * size_t(ndw);
+        int j = 0;
+        for (; j + 4 <= ndw; j += 4) {
+            o[j] = static_cast<uint16_t>(_mm_popcnt_u64(c ^ r[-j]));
+            o[j + 1] = static_cast<uint16_t>(
+                _mm_popcnt_u64(c ^ r[-j - 1]));
+            o[j + 2] = static_cast<uint16_t>(
+                _mm_popcnt_u64(c ^ r[-j - 2]));
+            o[j + 3] = static_cast<uint16_t>(
+                _mm_popcnt_u64(c ^ r[-j - 3]));
+        }
+        for (; j < ndw; ++j)
+            o[j] = static_cast<uint16_t>(_mm_popcnt_u64(c ^ r[-j]));
+    }
+}
+
 constexpr Kernels kSse42Kernels = {
     "sse42", Level::Sse42, censusRowSse42, hammingRowSse42,
-    sadSpanSse42, aggregateRowSse42,
+    sadSpanSse42, aggregateRowSse42, costRowSse42,
 };
 
 } // namespace

@@ -224,7 +224,10 @@ class BlockMatchingMatcher final : public Matcher
 class SgmMatcher final : public Matcher
 {
   public:
-    explicit SgmMatcher(SgmParams params) : params_(params) {}
+    SgmMatcher(SgmParams params, bool range_prune)
+        : params_(params), rangePrune_(range_prune)
+    {
+    }
 
     std::string name() const override { return "sgm"; }
 
@@ -234,6 +237,18 @@ class SgmMatcher final : public Matcher
     {
         return sgmCompute(left, right, params_, ctx);
     }
+
+    DisparityMap
+    computeGuided(const image::Image &left, const image::Image &right,
+                  const DisparityMap &guide,
+                  const ExecContext &ctx) const override
+    {
+        if (!rangePrune_)
+            return compute(left, right, ctx);
+        return sgmComputeGuided(left, right, guide, params_, ctx);
+    }
+
+    bool guided() const override { return rangePrune_; }
 
     int64_t
     ops(int width, int height) const override
@@ -245,6 +260,7 @@ class SgmMatcher final : public Matcher
 
   private:
     SgmParams params_;
+    bool rangePrune_; //!< computeGuided() prunes the search range
 };
 
 /**
@@ -350,13 +366,25 @@ MatcherRegistry::MatcherRegistry()
         p.leftRightCheck =
             opts.getBool("leftRightCheck", p.leftRightCheck);
         p.lrTolerance = opts.getInt("lrTolerance", p.lrTolerance);
+        p.paths = opts.getInt("paths", p.paths);
+        p.fused = opts.getBool("fused", p.fused);
+        p.pruneMargin = opts.getInt("pruneMargin", p.pruneMargin);
+        const bool range_prune = opts.getBool("rangePrune", false);
         if (p.censusRadius < 1 || p.censusRadius > 3)
             throw std::invalid_argument(
                 "censusRadius must be in [1, 3]");
         if (p.maxDisparity < 1)
             throw std::invalid_argument("maxDisparity must be >= 1");
+        if (p.paths != 4 && p.paths != 5 && p.paths != 8)
+            throw std::invalid_argument("paths must be 4, 5, or 8");
+        if (!p.fused && p.paths != 8)
+            throw std::invalid_argument(
+                "fused=0 (the materialized reference) supports "
+                "paths=8 only");
+        if (p.pruneMargin < 0)
+            throw std::invalid_argument("pruneMargin must be >= 0");
         opts.finish("sgm");
-        return std::make_shared<SgmMatcher>(p);
+        return std::make_shared<SgmMatcher>(p, range_prune);
     };
 
     factories_["guided"] = [](const MatcherOptions &opts) {

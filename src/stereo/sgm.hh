@@ -36,6 +36,22 @@ struct SgmParams
     bool subpixel = true;  //!< parabolic sub-pixel interpolation
     bool leftRightCheck = true; //!< invalidate inconsistent pixels
     int lrTolerance = 1;   //!< max allowed L/R disagreement (pixels)
+    int paths = 8;         //!< aggregation paths: 4, 5, or 8
+    /**
+     * Fused streaming engine (the default): census + Hamming cost
+     * rows are generated on the fly inside the aggregation sweeps and
+     * no full cost volume is ever resident. Bit-identical to the
+     * materialized reference at paths == 8; set false to run the
+     * materialized reference pipeline (equivalence tests, debugging).
+     */
+    bool fused = true;
+    /**
+     * Disparity head-room (pixels) added on both sides of a row's
+     * guide-derived search window in sgmComputeGuided(). Larger
+     * margins tolerate faster scene motion; margin >= maxDisparity
+     * degenerates to the full range (and thus to plain sgmCompute).
+     */
+    int pruneMargin = 8;
 };
 
 /**
@@ -200,6 +216,24 @@ DisparityMap sgmCompute(const image::Image &left,
 DisparityMap sgmCompute(const image::Image &left,
                         const image::Image &right,
                         const SgmParams &params = {});
+
+/**
+ * Range-pruned streaming SGM: each row's disparity search window is
+ * seeded from @p guide — typically the previous frame's disparity
+ * propagated to this frame — as [floor(min) - pruneMargin,
+ * ceil(max) + pruneMargin] over the row's valid guide pixels, clamped
+ * to [0, maxDisparity]. Rows without a valid guide pixel search the
+ * full range, and an empty or size-mismatched @p guide falls back to
+ * sgmCompute() entirely, so a lost prior degrades to plain SGM rather
+ * than failing. Deterministic for any worker count and SIMD level;
+ * with pruneMargin >= maxDisparity the result is bit-identical to
+ * sgmCompute().
+ */
+DisparityMap sgmComputeGuided(const image::Image &left,
+                              const image::Image &right,
+                              const DisparityMap &guide,
+                              const SgmParams &params,
+                              const ExecContext &ctx);
 
 } // namespace asv::stereo
 
