@@ -7,10 +7,11 @@
  * 4-path, and range-pruned variants, each reporting its peak
  * resident arena bytes — plus a per-SIMD-level sweep of the census,
  * Hamming cost-volume, SGM aggregation-row, and fused cost-row
- * kernels (the vector-vs-scalar datapoints tracked in
- * BENCH_kernels.json). The
- * benchmark context records the dispatched ISA (asv_simd) so
- * trajectory comparisons across hosts stay meaningful.
+ * kernels, and of the f32 DNN route (BM_ConvGemm / BM_Deconv: im2col
+ * + gemmRow with the fused bias+ReLU epilogue) — the vector-vs-scalar
+ * datapoints tracked in BENCH_kernels.json. The benchmark context
+ * records the dispatched ISA (asv_simd) so trajectory comparisons
+ * across hosts stay meaningful.
  */
 
 #include <benchmark/benchmark.h>
@@ -30,6 +31,7 @@
 #include "flow/farneback.hh"
 #include "stereo/block_matching.hh"
 #include "stereo/sgm.hh"
+#include "tensor/conv.hh"
 #include "tensor/deconv.hh"
 
 namespace
@@ -348,6 +350,60 @@ BM_AggregateRow(benchmark::State &state, simd::Level level)
 }
 
 void
+BM_ConvGemm(benchmark::State &state, simd::Level level)
+{
+    // The DNN-path f32 route: 3x3 convolution over a representative
+    // DispNet refinement shape (C=64 -> K=32 on a 32² ifmap),
+    // lowered to im2col + the dispatched gemmRow kernel with the
+    // bias+ReLU epilogue fused. The ≥3x AVX2-vs-scalar acceptance
+    // datapoint tracked in BENCH_kernels.json.
+    LevelGuard guard(level);
+    const int64_t n = state.range(0);
+    Tensor in = randomTensor({64, n, n}, 12);
+    Tensor w = randomTensor({32, 64, 3, 3}, 13);
+    std::vector<float> bias(32, 0.1f);
+    const tensor::ConvSpec spec = tensor::ConvSpec::uniform(2, 1, 1);
+    tensor::ConvEpilogue epi;
+    epi.bias = bias.data();
+    epi.relu = true;
+    BufferPool buffers;
+    const ExecContext ctx(ThreadPool::global(), buffers);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tensor::convNd(in, w, spec, epi, nullptr, ctx));
+    state.SetItemsProcessed(state.iterations() * 64 * 32 * 9 * n * n);
+}
+
+void
+BM_Deconv(benchmark::State &state, simd::Level level)
+{
+    // The paper's deconvolution proper, per ISA: transformed k4 s2 p1
+    // (DispNet/FlowNetS refinement layer, C=64 -> K=32), sub-convs on
+    // the f32 GEMM route with the epilogue fused. Contrast with the
+    // level-independent BM_DeconvReference/BM_DeconvTransformed pair
+    // above, which measures the transformation itself.
+    LevelGuard guard(level);
+    const int64_t n = state.range(0);
+    Tensor in = randomTensor({64, n, n}, 14);
+    Tensor w = randomTensor({32, 64, 4, 4}, 15);
+    std::vector<float> bias(32, 0.1f);
+    const DeconvSpec spec = DeconvSpec::uniform(2, 2, 1);
+    tensor::ConvEpilogue epi;
+    epi.bias = bias.data();
+    epi.relu = true;
+    BufferPool buffers;
+    const ExecContext ctx(ThreadPool::global(), buffers);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            deconv::transformedDeconv(in, w, spec, epi, nullptr,
+                                      ctx));
+    // MACs of the transformed deconv = K*C*k² useful taps per ofmap
+    // position (4 sub-kernels of 2x2 over a 2n² ofmap grid).
+    state.SetItemsProcessed(state.iterations() * 64 * 32 * 16 * n *
+                            n);
+}
+
+void
 BM_FusedCostRow(benchmark::State &state, simd::Level level)
 {
     // The streaming-SGM inner producer: one image row of Hamming
@@ -400,6 +456,14 @@ main(int argc, char **argv)
             ("BM_FusedCostRow/" + suffix).c_str(), BM_FusedCostRow,
             level)
             ->Arg(64);
+        benchmark::RegisterBenchmark(
+            ("BM_ConvGemm/" + suffix).c_str(), BM_ConvGemm, level)
+            ->Arg(32)
+            ->UseRealTime();
+        benchmark::RegisterBenchmark(
+            ("BM_Deconv/" + suffix).c_str(), BM_Deconv, level)
+            ->Arg(16)
+            ->UseRealTime();
     }
     benchmark::AddCustomContext("asv_simd", simd::activeName());
     benchmark::AddCustomContext(

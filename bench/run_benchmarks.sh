@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Run the kernel microbenchmarks, the frames-in-flight streaming
-# benchmark, the engine-API dispatch-overhead benchmark, and the
-# multi-stream serving benchmark, and
+# benchmark, the engine-API dispatch-overhead benchmark, the
+# multi-stream serving benchmark, and the per-ISA Fig. 11 / Fig. 13
+# wall-time benchmarks (transformed deconvolution and the DNN
+# refinement forward pass on the f32 GEMM route, with the analytic
+# simulator figures attached as sim_* counters), and
 # record the combined results as JSON, seeding the perf trajectory
 # tracked across PRs. The kernel run includes BM_SteadyStateAlloc,
 # whose allocs_per_frame / pool_hit_rate counters record the
@@ -27,8 +30,10 @@
 #                              advisory / continue-on-error)
 #   ASV_BENCH_CHECK_KERNELS    regex of benchmark names to gate
 #                              (default: the census, cost-volume,
-#                              aggregate-row and fused cost-row SIMD
-#                              sweeps plus the end-to-end
+#                              aggregate-row, fused cost-row,
+#                              conv-GEMM and deconv SIMD sweeps, the
+#                              per-ISA Fig. 11 / Fig. 13 wall-time
+#                              datapoints, plus the end-to-end
 #                              BM_Sgm/{256,512,1024} datapoints;
 #                              datapoints absent from the committed
 #                              baseline are reported as new and
@@ -80,7 +85,7 @@ else
     OUT="${1:-BENCH_kernels.json}"
 fi
 THRESHOLD="${ASV_BENCH_CHECK_THRESHOLD:-1.5}"
-KERNELS="${ASV_BENCH_CHECK_KERNELS:-^BM_Census/|^BM_CostVolume/|^BM_AggregateRow/|^BM_FusedCostRow/|^BM_Sgm/(256|512|1024)}"
+KERNELS="${ASV_BENCH_CHECK_KERNELS:-^BM_Census/|^BM_CostVolume/|^BM_AggregateRow/|^BM_FusedCostRow/|^BM_ConvGemm/|^BM_Deconv/|^BM_Fig11|^BM_Fig13|^BM_Sgm/(256|512|1024)}"
 
 if [[ $RUN -eq 1 ]]; then
 
@@ -89,14 +94,17 @@ if [[ $RUN -eq 1 ]]; then
 # "library_build_type": "debug").
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target bench_kernels bench_stream \
-    bench_matcher_dispatch bench_serve
+    bench_matcher_dispatch bench_serve \
+    bench_fig11_deconv_breakdown bench_fig13_eyeriss_gpu
 
 KERNELS_JSON="$(mktemp)"
 STREAM_JSON="$(mktemp)"
 DISPATCH_JSON="$(mktemp)"
 SERVE_JSON="$(mktemp)"
+FIG11_JSON="$(mktemp)"
+FIG13_JSON="$(mktemp)"
 trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" \
-    "$SERVE_JSON"' EXIT
+    "$SERVE_JSON" "$FIG11_JSON" "$FIG13_JSON"' EXIT
 
 "$BUILD_DIR/bench_kernels" \
     --benchmark_format=json \
@@ -118,6 +126,16 @@ trap 'rm -f "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" \
     --benchmark_out="$SERVE_JSON" \
     --benchmark_out_format=json
 
+"$BUILD_DIR/bench_fig11_deconv_breakdown" \
+    --benchmark_format=json \
+    --benchmark_out="$FIG11_JSON" \
+    --benchmark_out_format=json
+
+"$BUILD_DIR/bench_fig13_eyeriss_gpu" \
+    --benchmark_format=json \
+    --benchmark_out="$FIG13_JSON" \
+    --benchmark_out_format=json
+
 # Append the streaming and dispatch datapoints to the kernel
 # results so one file carries the whole trajectory, and stamp the
 # asv build type actually configured (google-benchmark's own
@@ -127,7 +145,7 @@ ASV_BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
 if command -v python3 >/dev/null 2>&1; then
     ASV_BUILD_TYPE="$ASV_BUILD_TYPE" \
     python3 - "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" \
-        "$SERVE_JSON" "$OUT" <<'PY'
+        "$SERVE_JSON" "$FIG11_JSON" "$FIG13_JSON" "$OUT" <<'PY'
 import json, os, sys
 kernels, extras, out = sys.argv[1], sys.argv[2:-1], sys.argv[-1]
 with open(kernels) as f:
@@ -144,11 +162,12 @@ PY
 elif command -v jq >/dev/null 2>&1; then
     ASV_BUILD_TYPE="$ASV_BUILD_TYPE" jq -s \
         '.[0].benchmarks += (.[1].benchmarks + .[2].benchmarks
-                             + .[3].benchmarks)
+                             + .[3].benchmarks + .[4].benchmarks
+                             + .[5].benchmarks)
          | .[0].context.asv_build_type = env.ASV_BUILD_TYPE
          | .[0]' \
         "$KERNELS_JSON" "$STREAM_JSON" "$DISPATCH_JSON" \
-        "$SERVE_JSON" > "$OUT"
+        "$SERVE_JSON" "$FIG11_JSON" "$FIG13_JSON" > "$OUT"
 else
     echo "neither python3 nor jq available; writing kernels only" >&2
     cp "$KERNELS_JSON" "$OUT"

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Docs gate: markdown link checker + header comment lint.
+
+Two checks, no third-party dependencies:
+
+1. Every relative link and image reference in the repo's markdown
+   files (README.md, docs/, and the top-level record files) must
+   resolve to an existing file or directory. External links
+   (http/https/mailto) and pure #fragments are not fetched. A
+   fragment on a local markdown link (docs/FOO.md#section) checks
+   that the target file contains a matching heading.
+
+2. Every public header under src/ (*.hh) must open with a
+   doxygen-style comment: a `/**` block containing `@file` within
+   the first few lines. This is the convention the docs tree links
+   into (docs/ARCHITECTURE.md points at header comments as the
+   per-subsystem reference), so it is enforced, not aspirational.
+
+Exit 0 when clean; prints one line per violation and exits 1
+otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+MARKDOWN_ROOTS = ["README.md", "ROADMAP.md", "PAPER.md", "CHANGES.md",
+                  "ISSUE.md"]
+MARKDOWN_DIRS = ["docs"]
+
+# [text](target) and ![alt](target); ignore inline code spans.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchors of every heading in a markdown file."""
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        text = line.lstrip("#").strip()
+        text = re.sub(r"`([^`]*)`", r"\1", text)
+        anchor = re.sub(r"[^\w\- ]", "", text.lower())
+        anchors.add(anchor.replace(" ", "-"))
+    return anchors
+
+
+def check_markdown(path: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = CODE_SPAN_RE.sub("", line)
+        for m in LINK_RE.finditer(stripped):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue  # same-file fragment; heading set below
+            target, _, fragment = target.partition("#")
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(ROOT)}:{lineno}: "
+                              f"broken link: {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment.lower() not in heading_anchors(resolved):
+                    errors.append(
+                        f"{path.relative_to(ROOT)}:{lineno}: "
+                        f"missing anchor: {target}#{fragment}")
+    return errors
+
+
+def check_header_comment(path: Path) -> list[str]:
+    head = path.read_text(encoding="utf-8").splitlines()[:5]
+    if any("@file" in line for line in head) and \
+            any(line.strip().startswith("/**") for line in head):
+        return []
+    return [f"{path.relative_to(ROOT)}: missing doxygen-style "
+            f"/** ... @file header comment in the first 5 lines"]
+
+
+def main() -> int:
+    md_files = [ROOT / name for name in MARKDOWN_ROOTS
+                if (ROOT / name).exists()]
+    for d in MARKDOWN_DIRS:
+        md_files += sorted((ROOT / d).glob("**/*.md"))
+
+    errors = []
+    for md in md_files:
+        errors += check_markdown(md)
+    for hh in sorted((ROOT / "src").glob("**/*.hh")):
+        errors += check_header_comment(hh)
+
+    for e in errors:
+        print(e)
+    checked = len(md_files) + len(list((ROOT / "src").glob("**/*.hh")))
+    if errors:
+        print(f"{len(errors)} problem(s) across {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"docs check passed ({len(md_files)} markdown files, "
+          f"{len(list((ROOT / 'src').glob('**/*.hh')))} headers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,12 @@ cpuSupports(Level level)
         return __builtin_cpu_supports("sse4.2") &&
                __builtin_cpu_supports("popcnt");
     if (level == Level::Avx2)
-        return __builtin_cpu_supports("avx2");
+        // The AVX2 table's f32 GEMM row uses FMA when the TU is
+        // built with -mfma (every AVX2 CPU since Haswell has it);
+        // requiring both keeps a hypothetical FMA-less host off a
+        // table it could not execute.
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
 #endif
 #if defined(__aarch64__)
     if (level == Level::Neon)

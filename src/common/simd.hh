@@ -1,12 +1,14 @@
 /**
  * @file
- * Runtime-dispatched SIMD kernel layer for the stereo hot path.
+ * Runtime-dispatched SIMD kernel layer for the stereo and DNN hot
+ * paths.
  *
- * The four inner loops that dominate classical stereo — census
+ * The inner loops that dominate classical stereo — census
  * bit-packing, XOR+popcount Hamming cost rows, SAD accumulation for
- * block matching, and the semi-global aggregation recurrence — carry
- * 8-32x of data-level parallelism that scalar per-pixel loops leave
- * on the table. This layer exposes them as a table of function
+ * block matching, and the semi-global aggregation recurrence — plus
+ * the f32 GEMM row and bias+ReLU epilogue behind the deconv/DNN path
+ * carry 8-32x of data-level parallelism that scalar per-pixel loops
+ * leave on the table. This layer exposes them as a table of function
  * pointers (`Kernels`) with one implementation per ISA, selected once
  * at startup:
  *
@@ -32,8 +34,15 @@
  * arithmetic provably reproduces the scalar clamped-uint32 order
  * (see AggregateRowFn); the fused pixel-major cost row (CostRowFn,
  * feeding the streaming SGM without a resident volume) is again pure
- * integer arithmetic. Adding an ISA means porting the five kernels
- * under the same contract (see README "SIMD backends").
+ * integer arithmetic. The f32 GEMM row (GemmRowFn) extends the
+ * discipline to floating point where the hardware allows: the
+ * reference accumulates with std::fmaf, so fused lanes (AVX2+FMA,
+ * NEON) replay it bit-exactly, while the one mul-then-add lane
+ * (SSE4.2) is tolerance-tested under an explicitly documented
+ * contract — `Kernels::fusedF32` records which case a table is.
+ * Adding an ISA means porting the seven kernels under the same
+ * contract (see docs/KERNELS.md for the full bit-identity contract,
+ * tolerance carve-outs, sentinel conventions, and a porting guide).
  */
 
 #ifndef ASV_COMMON_SIMD_HH
@@ -147,6 +156,45 @@ using AggregateRowFn = uint16_t (*)(const uint16_t *cost,
 using CostRowFn = void (*)(const uint64_t *cl, const uint64_t *cr,
                            int w, int dlo, int ndw, uint16_t *out);
 
+/**
+ * One f32 GEMM output row — the DNN-path microkernel behind
+ * convNd / transformedDeconv / dnn::NetworkRuntime. Computes
+ *
+ *   for j in [0, n):
+ *     acc = +0.0f
+ *     for i in [0, k):        // ascending
+ *       acc = fma(a[i], b[i * ldb + j], acc)
+ *     out[j] = acc
+ *
+ * i.e. out[0..n) = a[0..k) * B where B is a row-major k x n matrix
+ * with leading dimension @p ldb. The kernel *writes* (does not
+ * accumulate into) @p out, so pooled output buffers need no
+ * pre-zeroing. Vector lanes broadcast a[i] and vectorize across j —
+ * no horizontal reductions — so each lane replays the scalar
+ * per-output accumulation order.
+ *
+ * Accuracy contract: the reference uses std::fmaf (one rounding per
+ * step). Tables with `fusedF32 == true` (scalar, AVX2 built with FMA,
+ * NEON) are bit-identical to it for all finite inputs; tables with
+ * `fusedF32 == false` (SSE4.2, or AVX2 built without -mfma) round
+ * twice per step and agree only to relative tolerance. NaN *payloads*
+ * may differ between a software fmaf and hardware FMA; NaN *positions*
+ * always propagate identically. See docs/KERNELS.md.
+ */
+using GemmRowFn = void (*)(const float *a, int k, const float *b,
+                           int64_t ldb, float *out, int n);
+
+/**
+ * Fused bias + optional ReLU epilogue applied in place to one output
+ * row: out[j] = relu ? max-like(out[j] + bias) : out[j] + bias, where
+ * the ReLU is exactly `v > 0 ? v : +0` — NaN and -0 both map to +0
+ * (the x86 maxps(v, 0) semantics; the NEON lane uses compare+select
+ * because FMAX would propagate NaN). Plain IEEE adds: bit-identical
+ * across every level for non-NaN inputs regardless of fusedF32.
+ */
+using BiasReluRowFn = void (*)(float *out, int n, float bias,
+                               bool relu);
+
 /** One ISA's kernel table. */
 struct Kernels
 {
@@ -157,6 +205,15 @@ struct Kernels
     SadSpanFn sadSpan;
     AggregateRowFn aggregateRow;
     CostRowFn costRow;
+    GemmRowFn gemmRow;
+    BiasReluRowFn biasReluRow;
+    /**
+     * True when gemmRow replays the scalar std::fmaf chain bit-exactly
+     * (single rounding per multiply-add). False for mul-then-add
+     * lanes, which are covered by the documented tolerance contract
+     * instead (docs/KERNELS.md).
+     */
+    bool fusedF32;
 };
 
 /**

@@ -2,11 +2,13 @@
  * @file
  * AVX2 kernel table: 8-wide census bit-packing, popcount-by-nibble
  * (PSHUFB lookup + SAD reduction) Hamming rows over 4x64-bit lanes,
- * 8-wide (two 4-lane double accumulators) SAD spans, and 16-lane
- * saturating-uint16 SGM aggregation rows.
+ * 8-wide (two 4-lane double accumulators) SAD spans, 16-lane
+ * saturating-uint16 SGM aggregation rows, and the 8-lane FMA f32
+ * GEMM row + bias/ReLU epilogue for the DNN path (bit-identical to
+ * the scalar std::fmaf reference when built with FMA).
  *
- * Compiled with -mavx2 -mpopcnt (see CMakeLists); degrades to a
- * nullptr getter without those flags.
+ * Compiled with -mavx2 -mfma -mpopcnt (see CMakeLists); degrades to
+ * a nullptr getter without AVX2.
  */
 
 #include "common/simd.hh"
@@ -263,9 +265,103 @@ costRowAvx2(const uint64_t *cl, const uint64_t *cr, int w, int dlo,
     }
 }
 
+#if defined(__FMA__)
+// Fused multiply-add: one rounding per step, bit-identical to the
+// scalar std::fmaf reference chain.
+inline __m256
+gemmStep(__m256 acc, __m256 av, __m256 bv)
+{
+    return _mm256_fmadd_ps(av, bv, acc);
+}
+constexpr bool kAvx2GemmFused = true;
+#else
+// Built without -mfma (shouldn't happen with the CMake flag probe,
+// but keep the TU self-contained): falls back to mul-then-add and
+// honestly reports itself as a tolerance lane.
+inline __m256
+gemmStep(__m256 acc, __m256 av, __m256 bv)
+{
+    return _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+}
+constexpr bool kAvx2GemmFused = false;
+#endif
+
+void
+gemmRowAvx2(const float *a, int k, const float *b, int64_t ldb,
+            float *out, int n)
+{
+    int j = 0;
+    // 32 outputs per iteration: four 8-lane accumulators hide the
+    // 4-cycle FMA latency behind independent chains while a[i] is
+    // broadcast once. Each lane j still folds i ascending from +0 —
+    // the scalar accumulation order, replayed per output.
+    for (; j + 32 <= n; j += 32) {
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        __m256 acc2 = _mm256_setzero_ps();
+        __m256 acc3 = _mm256_setzero_ps();
+        const float *bj = b + j;
+        for (int i = 0; i < k; ++i) {
+            const __m256 av = _mm256_broadcast_ss(a + i);
+            const float *bi = bj + int64_t(i) * ldb;
+            acc0 = gemmStep(acc0, av, _mm256_loadu_ps(bi));
+            acc1 = gemmStep(acc1, av, _mm256_loadu_ps(bi + 8));
+            acc2 = gemmStep(acc2, av, _mm256_loadu_ps(bi + 16));
+            acc3 = gemmStep(acc3, av, _mm256_loadu_ps(bi + 24));
+        }
+        _mm256_storeu_ps(out + j, acc0);
+        _mm256_storeu_ps(out + j + 8, acc1);
+        _mm256_storeu_ps(out + j + 16, acc2);
+        _mm256_storeu_ps(out + j + 24, acc3);
+    }
+    for (; j + 8 <= n; j += 8) {
+        __m256 acc = _mm256_setzero_ps();
+        const float *bj = b + j;
+        for (int i = 0; i < k; ++i)
+            acc = gemmStep(acc, _mm256_broadcast_ss(a + i),
+                           _mm256_loadu_ps(bj + int64_t(i) * ldb));
+        _mm256_storeu_ps(out + j, acc);
+    }
+#if defined(__FMA__)
+    gemmRowRef(a, k, b, ldb, j, n, out);
+#else
+    // Match the vector body's mul-then-add rounding in the tail.
+    for (; j < n; ++j) {
+        float acc = 0.0f;
+        for (int i = 0; i < k; ++i)
+            acc += a[i] * b[int64_t(i) * ldb + j];
+        out[j] = acc;
+    }
+#endif
+}
+
+void
+biasReluRowAvx2(float *out, int n, float bias, bool relu)
+{
+    const __m256 vb = _mm256_set1_ps(bias);
+    const __m256 zero = _mm256_setzero_ps();
+    int j = 0;
+    if (relu) {
+        // VMAXPS(v, 0) returns the second operand on NaN and +0 for
+        // -0 — exactly the reference `v > 0 ? v : +0`.
+        for (; j + 8 <= n; j += 8) {
+            const __m256 v =
+                _mm256_add_ps(_mm256_loadu_ps(out + j), vb);
+            _mm256_storeu_ps(out + j, _mm256_max_ps(v, zero));
+        }
+    } else {
+        for (; j + 8 <= n; j += 8)
+            _mm256_storeu_ps(
+                out + j, _mm256_add_ps(_mm256_loadu_ps(out + j), vb));
+    }
+    biasReluRowRef(out, j, n, bias, relu);
+}
+
 constexpr Kernels kAvx2Kernels = {
-    "avx2", Level::Avx2, censusRowAvx2, hammingRowAvx2, sadSpanAvx2,
-    aggregateRowAvx2, costRowAvx2,
+    "avx2",         Level::Avx2, censusRowAvx2,
+    hammingRowAvx2, sadSpanAvx2, aggregateRowAvx2,
+    costRowAvx2,    gemmRowAvx2, biasReluRowAvx2,
+    kAvx2GemmFused,
 };
 
 } // namespace

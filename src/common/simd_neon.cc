@@ -2,9 +2,11 @@
  * @file
  * NEON (aarch64 Advanced SIMD) kernel table: 4-wide census
  * bit-packing (vcltq_f32 masks shifted in MSB-first), vcntq_u8 +
- * pairwise-widening Hamming rows, 2-lane float64x2_t SAD spans, and
+ * pairwise-widening Hamming rows, 2-lane float64x2_t SAD spans,
  * 8-lane saturating-uint16 SGM aggregation rows (vminvq_u16
- * horizontal min).
+ * horizontal min), and the 4-lane FMLA f32 GEMM row + bias/ReLU
+ * epilogue for the DNN path (FMLA is fused, so gemmRow is
+ * bit-identical to the scalar std::fmaf reference).
  *
  * NEON is baseline on armv8-a, so no per-file target flags are
  * strictly required; the whole file degrades to a nullptr getter off
@@ -183,9 +185,68 @@ costRowNeon(const uint64_t *cl, const uint64_t *cr, int w, int dlo,
     }
 }
 
+void
+gemmRowNeon(const float *a, int k, const float *b, int64_t ldb,
+            float *out, int n)
+{
+    int j = 0;
+    // 8 outputs per iteration over two independent 4-lane FMLA
+    // chains. vfmaq_f32 is a fused multiply-add (one rounding per
+    // step), so each lane replays the scalar std::fmaf chain
+    // bit-exactly (fusedF32 == true).
+    for (; j + 8 <= n; j += 8) {
+        float32x4_t acc0 = vdupq_n_f32(0.0f);
+        float32x4_t acc1 = vdupq_n_f32(0.0f);
+        const float *bj = b + j;
+        for (int i = 0; i < k; ++i) {
+            const float32x4_t av = vdupq_n_f32(a[i]);
+            const float *bi = bj + int64_t(i) * ldb;
+            acc0 = vfmaq_f32(acc0, av, vld1q_f32(bi));
+            acc1 = vfmaq_f32(acc1, av, vld1q_f32(bi + 4));
+        }
+        vst1q_f32(out + j, acc0);
+        vst1q_f32(out + j + 4, acc1);
+    }
+    for (; j + 4 <= n; j += 4) {
+        float32x4_t acc = vdupq_n_f32(0.0f);
+        const float *bj = b + j;
+        for (int i = 0; i < k; ++i)
+            acc = vfmaq_f32(acc, vdupq_n_f32(a[i]),
+                            vld1q_f32(bj + int64_t(i) * ldb));
+        vst1q_f32(out + j, acc);
+    }
+    gemmRowRef(a, k, b, ldb, j, n, out);
+}
+
+void
+biasReluRowNeon(float *out, int n, float bias, bool relu)
+{
+    const float32x4_t vb = vdupq_n_f32(bias);
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    int j = 0;
+    if (relu) {
+        // NOT vmaxq_f32: aarch64 FMAX propagates NaN, but the
+        // contract is `v > 0 ? v : +0` (NaN and -0 both map to +0,
+        // matching the x86 maxps(v, 0) semantics). Compare + select
+        // reproduces it: the NaN compare is false, selecting zero.
+        for (; j + 4 <= n; j += 4) {
+            const float32x4_t v =
+                vaddq_f32(vld1q_f32(out + j), vb);
+            const uint32x4_t pos = vcgtq_f32(v, zero);
+            vst1q_f32(out + j, vbslq_f32(pos, v, zero));
+        }
+    } else {
+        for (; j + 4 <= n; j += 4)
+            vst1q_f32(out + j, vaddq_f32(vld1q_f32(out + j), vb));
+    }
+    biasReluRowRef(out, j, n, bias, relu);
+}
+
 constexpr Kernels kNeonKernels = {
-    "neon", Level::Neon, censusRowNeon, hammingRowNeon, sadSpanNeon,
-    aggregateRowNeon, costRowNeon,
+    "neon",         Level::Neon, censusRowNeon,
+    hammingRowNeon, sadSpanNeon, aggregateRowNeon,
+    costRowNeon,    gemmRowNeon, biasReluRowNeon,
+    /*fusedF32=*/true,
 };
 
 } // namespace

@@ -3,8 +3,8 @@
  * Shared scalar reference loops for the SIMD kernel table.
  *
  * One definition of the census bit-pack, Hamming popcount, fused
- * pixel-major cost row, SAD accumulation, and semi-global aggregation
- * semantics, included by
+ * pixel-major cost row, SAD accumulation, semi-global aggregation,
+ * f32 GEMM row, and bias+ReLU epilogue semantics, included by
  * every per-ISA translation unit: the scalar table uses them as its
  * kernels, and the vector tables use them for sub-vector tails.
  * Keeping a single copy means a future change to the encoding or
@@ -12,9 +12,13 @@
  * baseline and a tail path — the exact breakage the bit-identity
  * contract guards against.
  *
- * All operations are exact (integer, predicate, or IEEE add/sub/abs
- * with no fusable multiply-adds), so compiling these inline functions
- * under different target flags cannot change their results.
+ * Almost all operations are exact (integer, predicate, or IEEE
+ * add/sub/abs with no fusable multiply-adds), so compiling these
+ * inline functions under different target flags cannot change their
+ * results. The one multiply-accumulate loop — the f32 GEMM row for
+ * the DNN path — spells its fusion out with std::fmaf (correctly
+ * rounded by definition, never silently contracted or split), so it
+ * too is flag-independent; see docs/KERNELS.md for the f32 contract.
  */
 
 #ifndef ASV_COMMON_SIMD_REFERENCE_HH
@@ -138,6 +142,45 @@ costRowRef(const uint64_t *cl, const uint64_t *cr, int dlo, int ndw,
             for (int j = m; j < ndw; ++j)
                 o[j] = edge;
         }
+    }
+}
+
+/**
+ * f32 GEMM row for outputs [j0, j1); see GemmRowFn. The vector
+ * tables call this with j0 > 0 for the sub-vector tail. Each output
+ * is an independent fused-multiply-add chain over i ascending with
+ * the accumulator starting at +0.0f — the accumulation order every
+ * vector lane replays. std::fmaf is correctly rounded (a single
+ * rounding per step), so a fused vector lane (AVX2+FMA, NEON FMLA)
+ * reproduces these bits exactly; a mul-then-add lane (SSE4.2) rounds
+ * twice per step and is tolerance-tested instead. docs/KERNELS.md
+ * spells out the contract.
+ */
+inline void
+gemmRowRef(const float *a, int k, const float *b, int64_t ldb, int j0,
+           int j1, float *out)
+{
+    for (int j = j0; j < j1; ++j) {
+        float acc = 0.0f;
+        for (int i = 0; i < k; ++i)
+            acc = std::fmaf(a[i], b[int64_t(i) * ldb + j], acc);
+        out[j] = acc;
+    }
+}
+
+/**
+ * Bias + optional ReLU epilogue for outputs [j0, j1); see
+ * BiasReluRowFn. Plain IEEE add (exact across ISAs); the ReLU is
+ * `v > 0 ? v : +0`, which sends NaN and -0 to +0 — the semantics the
+ * x86 maxps(v, 0) idiom happens to share and the NEON lane must
+ * reproduce with a compare+select (FMAX would propagate NaN).
+ */
+inline void
+biasReluRowRef(float *out, int j0, int j1, float bias, bool relu)
+{
+    for (int j = j0; j < j1; ++j) {
+        const float v = out[j] + bias;
+        out[j] = relu ? (v > 0.0f ? v : 0.0f) : v;
     }
 }
 

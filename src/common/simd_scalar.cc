@@ -54,9 +54,24 @@ costRowScalar(const uint64_t *cl, const uint64_t *cr, int w, int dlo,
     costRowRef(cl, cr, dlo, ndw, 0, w, out);
 }
 
+void
+gemmRowScalar(const float *a, int k, const float *b, int64_t ldb,
+              float *out, int n)
+{
+    gemmRowRef(a, k, b, ldb, 0, n, out);
+}
+
+void
+biasReluRowScalar(float *out, int n, float bias, bool relu)
+{
+    biasReluRowRef(out, 0, n, bias, relu);
+}
+
 constexpr Kernels kScalarKernels = {
-    "scalar", Level::Scalar, censusRowScalar, hammingRowScalar,
-    sadSpanScalar, aggregateRowScalar, costRowScalar,
+    "scalar",         Level::Scalar, censusRowScalar,
+    hammingRowScalar, sadSpanScalar, aggregateRowScalar,
+    costRowScalar,    gemmRowScalar, biasReluRowScalar,
+    /*fusedF32=*/true,
 };
 
 } // namespace

@@ -1,8 +1,11 @@
 /**
  * @file
  * SSE4.2 kernel table: 4-wide census bit-packing, hardware-POPCNT
- * Hamming rows, 2-lane double SAD spans, and 8-lane saturating-uint16
- * SGM aggregation rows (PHMINPOSUW horizontal min).
+ * Hamming rows, 2-lane double SAD spans, 8-lane saturating-uint16
+ * SGM aggregation rows (PHMINPOSUW horizontal min), and the 4-lane
+ * f32 GEMM row + bias/ReLU epilogue for the DNN path. SSE4.2 has no
+ * FMA, so gemmRow is the table's one tolerance-tested kernel
+ * (fusedF32 == false; see docs/KERNELS.md).
  *
  * Compiled with -msse4.2 -mpopcnt (see CMakeLists); the whole file
  * degrades to a nullptr getter when those flags are unavailable so
@@ -191,9 +194,78 @@ costRowSse42(const uint64_t *cl, const uint64_t *cr, int w, int dlo,
     }
 }
 
+void
+gemmRowSse42(const float *a, int k, const float *b, int64_t ldb,
+             float *out, int n)
+{
+    int j = 0;
+    // 8 outputs per iteration, broadcast a[i] across both 4-lane
+    // accumulators. This TU has no FMA, so each step is a separate
+    // MULPS + ADDPS rounding — the one tolerance-tested gemmRow lane
+    // (Kernels::fusedF32 == false; see docs/KERNELS.md).
+    for (; j + 8 <= n; j += 8) {
+        __m128 acc0 = _mm_setzero_ps();
+        __m128 acc1 = _mm_setzero_ps();
+        const float *bj = b + j;
+        for (int i = 0; i < k; ++i) {
+            const __m128 av = _mm_set1_ps(a[i]);
+            const float *bi = bj + int64_t(i) * ldb;
+            acc0 = _mm_add_ps(acc0,
+                              _mm_mul_ps(av, _mm_loadu_ps(bi)));
+            acc1 = _mm_add_ps(acc1,
+                              _mm_mul_ps(av, _mm_loadu_ps(bi + 4)));
+        }
+        _mm_storeu_ps(out + j, acc0);
+        _mm_storeu_ps(out + j + 4, acc1);
+    }
+    for (; j + 4 <= n; j += 4) {
+        __m128 acc = _mm_setzero_ps();
+        const float *bj = b + j;
+        for (int i = 0; i < k; ++i)
+            acc = _mm_add_ps(
+                acc, _mm_mul_ps(_mm_set1_ps(a[i]),
+                                _mm_loadu_ps(bj + int64_t(i) * ldb)));
+        _mm_storeu_ps(out + j, acc);
+    }
+    // Unfused scalar tail (not gemmRowRef, whose std::fmaf would put
+    // the tail outputs under a *different* rounding than the vector
+    // body): the whole sse42 row stays under one mul-then-add
+    // behavior, so the tolerance contract is uniform across j.
+    for (; j < n; ++j) {
+        float acc = 0.0f;
+        for (int i = 0; i < k; ++i)
+            acc += a[i] * b[int64_t(i) * ldb + j];
+        out[j] = acc;
+    }
+}
+
+void
+biasReluRowSse42(float *out, int n, float bias, bool relu)
+{
+    const __m128 vb = _mm_set1_ps(bias);
+    const __m128 zero = _mm_setzero_ps();
+    int j = 0;
+    if (relu) {
+        // MAXPS(v, 0) returns the second operand on NaN and +0 for
+        // -0 — exactly the reference `v > 0 ? v : +0`.
+        for (; j + 4 <= n; j += 4) {
+            const __m128 v =
+                _mm_add_ps(_mm_loadu_ps(out + j), vb);
+            _mm_storeu_ps(out + j, _mm_max_ps(v, zero));
+        }
+    } else {
+        for (; j + 4 <= n; j += 4)
+            _mm_storeu_ps(out + j,
+                          _mm_add_ps(_mm_loadu_ps(out + j), vb));
+    }
+    biasReluRowRef(out, j, n, bias, relu);
+}
+
 constexpr Kernels kSse42Kernels = {
-    "sse42", Level::Sse42, censusRowSse42, hammingRowSse42,
-    sadSpanSse42, aggregateRowSse42, costRowSse42,
+    "sse42",         Level::Sse42, censusRowSse42,
+    hammingRowSse42, sadSpanSse42, aggregateRowSse42,
+    costRowSse42,    gemmRowSse42, biasReluRowSse42,
+    /*fusedF32=*/false,
 };
 
 } // namespace

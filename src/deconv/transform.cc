@@ -206,10 +206,15 @@ extractSubKernel(const Tensor &weight, const SubConv &sub,
     return sk;
 }
 
+namespace
+{
+
 Tensor
-transformedDeconv(const Tensor &input, const Tensor &weight,
-                  const tensor::DeconvSpec &spec,
-                  tensor::ConvStats *stats, const ExecContext &ctx)
+transformedDeconvImpl(const Tensor &input, const Tensor &weight,
+                      const tensor::DeconvSpec &spec,
+                      tensor::ConvStats *stats,
+                      const tensor::ConvEpilogue *epi,
+                      const ExecContext &ctx)
 {
     const int nd = input.rank() - 1;
 
@@ -296,9 +301,14 @@ transformedDeconv(const Tensor &input, const Tensor &weight,
         cspec.stride.assign(nd, 1);
         cspec.padLo = pad_lo;
         cspec.padHi = pad_hi;
-        const Tensor sub_out = convNd(*eff_input, sk, cspec,
-                                      tensor::ConvOp::MAC, stats,
-                                      ctx);
+        // Sub-convolutions write disjoint ofmap phases, so fusing
+        // the bias+ReLU epilogue into each sub-conv is exactly the
+        // epilogue on the gathered ofmap.
+        const Tensor sub_out =
+            epi != nullptr
+                ? convNd(*eff_input, sk, cspec, *epi, stats, ctx)
+                : convNd(*eff_input, sk, cspec, tensor::ConvOp::MAC,
+                         stats, ctx);
 
         // Gather: interleave into the ofmap at stride positions.
         // Filters write disjoint ofmap slices: fan the scatter out.
@@ -326,6 +336,27 @@ transformedDeconv(const Tensor &input, const Tensor &weight,
             });
     }
     return out;
+}
+
+} // namespace
+
+Tensor
+transformedDeconv(const Tensor &input, const Tensor &weight,
+                  const tensor::DeconvSpec &spec,
+                  tensor::ConvStats *stats, const ExecContext &ctx)
+{
+    return transformedDeconvImpl(input, weight, spec, stats, nullptr,
+                                 ctx);
+}
+
+Tensor
+transformedDeconv(const Tensor &input, const Tensor &weight,
+                  const tensor::DeconvSpec &spec,
+                  const tensor::ConvEpilogue &epilogue,
+                  tensor::ConvStats *stats, const ExecContext &ctx)
+{
+    return transformedDeconvImpl(input, weight, spec, stats,
+                                 &epilogue, ctx);
 }
 
 Tensor

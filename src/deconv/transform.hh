@@ -133,6 +133,19 @@ Tensor transformedDeconv(const Tensor &input, const Tensor &weight,
                          tensor::ConvStats *stats,
                          const ExecContext &ctx);
 
+/**
+ * transformedDeconv() with a fused per-filter bias+ReLU epilogue.
+ * Sub-convolutions write disjoint ofmap phases, so applying the
+ * epilogue inside each sub-convolution is exactly the epilogue on
+ * the gathered ofmap — one fewer pass over the output. This is the
+ * form dnn::NetworkRuntime's deconv layers lower to.
+ */
+Tensor transformedDeconv(const Tensor &input, const Tensor &weight,
+                         const tensor::DeconvSpec &spec,
+                         const tensor::ConvEpilogue &epilogue,
+                         tensor::ConvStats *stats,
+                         const ExecContext &ctx);
+
 /** transformedDeconv() on the process-global pool (legacy). */
 Tensor transformedDeconv(const Tensor &input, const Tensor &weight,
                          const tensor::DeconvSpec &spec,

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Executable runtime for dnn::Network descriptions — the functional
+ * DNN path of the reproduction.
+ *
+ * `dnn::Network` is an analytic IR: layer descriptors with exact
+ * MAC/parameter counts, consumed by the simulators and the tiling
+ * scheduler. `NetworkRuntime` compiles a chain-consistent subset of
+ * that IR into an executable plan and runs it on real tensors
+ * through the dispatched f32 SIMD kernels:
+ *
+ *  - Conv layers lower to tensor::convNdInto — the im2col-or-direct
+ *    GEMM route — with the following Activation layer fused into the
+ *    per-filter bias+ReLU epilogue;
+ *  - Deconv layers run the Sec. 4.1 transformation: sub-kernels are
+ *    extracted once at construction, each sub-convolution runs as a
+ *    dense stride-1 convNdInto (epilogue fused — sub-convolutions
+ *    write disjoint ofmap phases, so this is exact), and the
+ *    interleaved ofmap is gathered with allocation-free odometer
+ *    loops;
+ *  - Activation (ReLU) and Pooling (max) execute directly;
+ *  - FullyConnected and CostVolume layers are analytic-only and
+ *    rejected, as are IR chains whose shapes do not actually chain
+ *    (NetworkBuilder::setChannels / concatChannels splices).
+ *
+ * Everything a frame needs — weights, biases, sub-kernels, crop
+ * buffers, every intermediate activation — is allocated at
+ * construction; forward() performs zero heap allocations once the
+ * ExecContext's BufferPool has warmed up (its im2col scratch is the
+ * only pooled acquisition). This is the "dnn" entry enforced exactly
+ * by alloc_baseline_test / BASELINE_alloc.json.
+ *
+ * Determinism: forward() is bit-identical for any worker count and
+ * across the fused SIMD levels (scalar / AVX2+FMA / NEON); SSE4.2
+ * agrees to the documented tolerance (docs/KERNELS.md).
+ */
+
+#ifndef ASV_DNN_RUNTIME_HH
+#define ASV_DNN_RUNTIME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/exec_context.hh"
+#include "dnn/network.hh"
+#include "tensor/conv.hh"
+#include "tensor/tensor.hh"
+
+namespace asv::dnn
+{
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/** Compiled, preallocated executor for a dnn::Network. */
+class NetworkRuntime
+{
+  public:
+    /**
+     * Compile @p net and allocate weights (seeded uniform init,
+     * deterministic per @p seed), biases, sub-kernels, and all
+     * intermediate activations. Panics on unsupported layer kinds,
+     * batch != 1, or non-chaining layer shapes.
+     */
+    explicit NetworkRuntime(const Network &net, uint64_t seed = 1);
+
+    /**
+     * Run one frame. @p input must have shape inputShape(). Returns
+     * the final activation, owned by the runtime and valid until the
+     * next forward() call. Zero heap allocations in the steady state.
+     */
+    const Tensor &forward(const Tensor &input, const ExecContext &ctx);
+
+    /**
+     * Independent slow path for equivalence tests: zero-insertion
+     * deconvolution (tensor::deconvNd) and the double-accumulation
+     * reference convolution, with the epilogue as a separate scalar
+     * pass. Allocates freely; compare against forward() with a
+     * tolerance (f32 FMA chain vs double accumulation).
+     */
+    Tensor referenceForward(const Tensor &input,
+                            const ExecContext &ctx) const;
+
+    /** Expected input shape, [C, spatial...]. */
+    const Shape &inputShape() const { return input_shape_; }
+
+    /** Shape of the tensor forward() returns. */
+    const Shape &outputShape() const { return output_shape_; }
+
+    /** Executable steps (fused Activation layers are absorbed). */
+    size_t numSteps() const { return steps_.size(); }
+
+  private:
+    /** One sub-convolution of a transformed deconv step. */
+    struct Sub
+    {
+        Tensor kernel;         //!< extracted sub-kernel [K, C, taps..]
+        tensor::ConvSpec spec; //!< stride-1 + one-sided pads
+        Shape cropLo;          //!< leading input crop per dim
+        bool needCrop = false;
+        Tensor cropped;        //!< preallocated crop buffer
+        Shape phase;           //!< ofmap phase per dim
+        Shape counts;          //!< ofmap positions per dim
+        Tensor out;            //!< preallocated sub-conv output
+        /** taps == 0 in some dim: the phase's outputs carry no MACs
+         *  and are filled with the epilogue of zero. */
+        bool emptyPhase = false;
+    };
+
+    struct Step
+    {
+        LayerKind kind = LayerKind::Conv;
+        Tensor weight;           //!< [K, C, kernel...] (conv/deconv)
+        std::vector<float> bias; //!< per-filter bias [K]
+        bool relu = false;       //!< fused following Activation
+        tensor::ConvSpec conv;   //!< Conv lowering
+        Shape stride;            //!< Deconv upsampling stride
+        Shape pad;               //!< Deconv DL-convention padding
+        std::vector<Sub> subs;   //!< Deconv sub-convolutions
+        bool anyEmptySub = false;
+        Shape poolKernel;        //!< Pooling window
+        Shape poolStride;        //!< Pooling stride
+        Tensor out;              //!< preallocated step output
+    };
+
+    void runDeconv(Step &st, const Tensor &in, const ExecContext &ctx);
+
+    Shape input_shape_;
+    Shape output_shape_;
+    std::vector<Step> steps_;
+};
+
+} // namespace asv::dnn
+
+#endif // ASV_DNN_RUNTIME_HH

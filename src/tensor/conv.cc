@@ -1,14 +1,98 @@
 #include "tensor/conv.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/thread_pool.hh"
 
 namespace asv::tensor
 {
+
+namespace
+{
+
+/** Spatial-rank ceiling of the GEMM route's stack-array odometers
+ *  (no heap in the steady state); the paper's workloads are 2-D. */
+constexpr int kMaxSpatialDims = 4;
+
+/**
+ * True when a MAC convolution rides the dispatched f32 GEMM kernels.
+ * Stats collection stays on the double-accumulation reference loop:
+ * exact per-tap counters (and the bitwise results the concurrency
+ * tests pin) are part of its contract.
+ */
+bool
+gemmEligible(ConvOp op, const ConvStats *stats)
+{
+    return op == ConvOp::MAC && stats == nullptr;
+}
+
+/**
+ * Fill im2col rows [r0, r1) of the [R x P] column matrix. Row
+ * r = c * T + t holds, for channel c and kernel tap t (raster order
+ * over the kernel's spatial dims, T taps total), the input value
+ * under that tap at every output position p (raster order over the
+ * output spatial dims), or 0 where the tap lands in the zero
+ * padding. The (c, tap) row order makes the GEMM's ascending-i
+ * reduction replay the reference loop's channel-outer,
+ * tap-raster-inner accumulation order, and lets the row-major
+ * [K, C, k...] weight tensor serve as the [K x R] left operand with
+ * no packing.
+ */
+void
+im2colRows(const Tensor &input, std::span<const int64_t> ospatial,
+           std::span<const int64_t> kspatial, const ConvSpec &spec,
+           int64_t T, int64_t P, int64_t r0, int64_t r1, float *col)
+{
+    const int nd = static_cast<int>(ospatial.size());
+    int64_t istride[kMaxSpatialDims];
+    int64_t s = 1;
+    for (int d = nd - 1; d >= 0; --d) {
+        istride[d] = s;
+        s *= input.dim(1 + d);
+    }
+    const int64_t chan_elems = s;
+
+    int64_t tap[kMaxSpatialDims];
+    int64_t o[kMaxSpatialDims];
+    for (int64_t r = r0; r < r1; ++r) {
+        const int64_t c = r / T;
+        int64_t t = r % T;
+        for (int d = nd - 1; d >= 0; --d) {
+            tap[d] = t % kspatial[d];
+            t /= kspatial[d];
+        }
+        const float *src = input.data() + c * chan_elems;
+        float *dst = col + r * P;
+        for (int d = 0; d < nd; ++d)
+            o[d] = 0;
+        for (int64_t p = 0; p < P; ++p) {
+            int64_t off = 0;
+            bool inside = true;
+            for (int d = 0; d < nd; ++d) {
+                const int64_t v =
+                    o[d] * spec.stride[d] - spec.padLo[d] + tap[d];
+                if (v < 0 || v >= input.dim(1 + d)) {
+                    inside = false;
+                    break;
+                }
+                off += v * istride[d];
+            }
+            dst[p] = inside ? src[off] : 0.0f;
+            for (int d = nd - 1; d >= 0; --d) {
+                if (++o[d] < ospatial[d])
+                    break;
+                o[d] = 0;
+            }
+        }
+    }
+}
+
+} // namespace
 
 ConvSpec
 ConvSpec::uniform(int spatial_dims, int64_t stride, int64_t pad)
@@ -49,6 +133,90 @@ convOutShape(const Shape &input, const Shape &weight, const ConvSpec &spec)
     return out;
 }
 
+void
+convNdInto(const Tensor &input, const Tensor &weight,
+           const ConvSpec &spec, const ConvEpilogue *epilogue,
+           const ExecContext &ctx, Tensor &out)
+{
+    const int nd = static_cast<int>(input.rank()) - 1;
+    panic_if(nd < 1 || nd > kMaxSpatialDims,
+             "convNdInto: spatial rank ", nd, " unsupported (1-",
+             kMaxSpatialDims, ")");
+    panic_if(static_cast<int>(weight.rank()) != nd + 2,
+             "convNdInto: weight must be [K, C, kspatial...]; got ",
+             toString(weight.shape()));
+    panic_if(weight.dim(1) != input.dim(0),
+             "convNdInto: channel mismatch: input C=", input.dim(0),
+             " weight C=", weight.dim(1));
+    panic_if(static_cast<int>(spec.stride.size()) != nd ||
+                 static_cast<int>(spec.padLo.size()) != nd ||
+                 static_cast<int>(spec.padHi.size()) != nd,
+             "convNdInto: spec rank mismatch");
+    panic_if(static_cast<int>(out.rank()) != nd + 1 ||
+                 out.dim(0) != weight.dim(0),
+             "convNdInto: bad output shape ", toString(out.shape()));
+
+    const std::span<const int64_t> kspatial(
+        weight.shape().data() + 2, static_cast<size_t>(nd));
+    const std::span<const int64_t> ospatial(
+        out.shape().data() + 1, static_cast<size_t>(nd));
+    int64_t T = 1;
+    int64_t P = 1;
+    bool direct = true;
+    for (int d = 0; d < nd; ++d) {
+        panic_if(spec.stride[d] < 1, "stride must be >= 1");
+        const int64_t padded =
+            input.dim(1 + d) + spec.padLo[d] + spec.padHi[d];
+        panic_if(padded < kspatial[d], "kernel dim ", kspatial[d],
+                 " larger than padded input ", padded);
+        panic_if(ospatial[d] !=
+                     (padded - kspatial[d]) / spec.stride[d] + 1,
+                 "convNdInto: output spatial mismatch in dim ", d);
+        T *= kspatial[d];
+        P *= ospatial[d];
+        direct = direct && kspatial[d] == 1 && spec.stride[d] == 1 &&
+                 spec.padLo[d] == 0 && spec.padHi[d] == 0;
+    }
+    const int64_t K = weight.dim(0);
+    const int64_t R = input.dim(0) * T;
+
+    const simd::Kernels &kt = simd::kernels();
+
+    // Direct route: a pointwise stride-1 unpadded layer already has
+    // its input laid out as the [R x P] right operand — skip im2col.
+    PoolHandle<float> colbuf;
+    const float *col = input.data();
+    if (!direct) {
+        colbuf =
+            ctx.buffers().acquire<float>(static_cast<size_t>(R * P));
+        float *cb = colbuf.data();
+        ctx.parallelFor(0, R, [&](int64_t r0, int64_t r1) {
+            im2colRows(input, ospatial, kspatial, spec, T, P, r0, r1,
+                       cb);
+        });
+        col = cb;
+    }
+
+    const float *wd = weight.data();
+    float *od = out.data();
+    // One output row (filter) per gemmRow call: every output element
+    // is produced by exactly one thread replaying the serial
+    // reduction order, so results are bit-identical for any worker
+    // count (and across fused SIMD levels; see docs/KERNELS.md).
+    ctx.parallelFor(0, K, [&](int64_t f0, int64_t f1) {
+        for (int64_t f = f0; f < f1; ++f) {
+            float *row = od + f * P;
+            kt.gemmRow(wd + f * R, static_cast<int>(R), col, P, row,
+                       static_cast<int>(P));
+            if (epilogue != nullptr)
+                kt.biasReluRow(
+                    row, static_cast<int>(P),
+                    epilogue->bias ? epilogue->bias[f] : 0.0f,
+                    epilogue->relu);
+        }
+    });
+}
+
 Tensor
 convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
        ConvOp op, ConvStats *stats, const ExecContext &ctx)
@@ -59,6 +227,11 @@ convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
     const int64_t in_channels = input.dim(0);
 
     Tensor out(out_shape);
+
+    if (gemmEligible(op, stats) && spatial <= kMaxSpatialDims) {
+        convNdInto(input, weight, spec, nullptr, ctx, out);
+        return out;
+    }
 
     // Iterate output positions [K, o...] in row-major order; for
     // each, reduce over channels and kernel taps. Output elements are
@@ -145,6 +318,33 @@ convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
 {
     return convNd(input, weight, spec, op, stats,
                   ExecContext::global());
+}
+
+Tensor
+convNd(const Tensor &input, const Tensor &weight, const ConvSpec &spec,
+       const ConvEpilogue &epilogue, ConvStats *stats,
+       const ExecContext &ctx)
+{
+    if (gemmEligible(ConvOp::MAC, stats) &&
+        static_cast<int>(input.rank()) - 1 <= kMaxSpatialDims) {
+        Tensor out(convOutShape(input.shape(), weight.shape(), spec));
+        convNdInto(input, weight, spec, &epilogue, ctx, out);
+        return out;
+    }
+    // Stats requested: reference loop for the exact counters, then
+    // the epilogue as a separate dispatched pass per filter row.
+    Tensor out = convNd(input, weight, spec, ConvOp::MAC, stats, ctx);
+    const simd::Kernels &kt = simd::kernels();
+    const int64_t K = out.dim(0);
+    const int64_t P = out.size() / std::max<int64_t>(K, 1);
+    float *od = out.data();
+    ctx.parallelFor(0, K, [&](int64_t f0, int64_t f1) {
+        for (int64_t f = f0; f < f1; ++f)
+            kt.biasReluRow(od + f * P, static_cast<int>(P),
+                           epilogue.bias ? epilogue.bias[f] : 0.0f,
+                           epilogue.relu);
+    });
+    return out;
 }
 
 } // namespace asv::tensor

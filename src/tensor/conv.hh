@@ -19,6 +19,18 @@
  * instead of multiply-accumulate, which is how ASV maps block matching
  * onto the systolic array (Sec. 3.3 / 5.1): the block is the kernel and
  * the search window is the input.
+ *
+ * Execution routes (see docs/KERNELS.md for the accuracy contract):
+ *  - MAC with no stats requested rides the dispatched f32 GEMM
+ *    kernels (asv::simd) behind an im2col-or-direct lowering with
+ *    BufferPool-backed scratch — the fast path behind
+ *    transformedDeconv and dnn::NetworkRuntime. f32 fused-multiply-
+ *    add accumulation, bit-identical across worker counts and across
+ *    the fused SIMD levels (scalar/AVX2/NEON); SSE4.2 agrees to
+ *    documented tolerance.
+ *  - SAD, and any call carrying a ConvStats sink, runs the reference
+ *    loop nest: double-precision accumulation and exact per-tap op
+ *    counters, bit-identical across worker counts.
  */
 
 #ifndef ASV_TENSOR_CONV_HH
@@ -65,6 +77,21 @@ struct ConvStats
     }
 };
 
+/**
+ * Fused per-filter epilogue applied to each output row after the
+ * reduction: out += bias[k], then optionally ReLU. The ReLU is
+ * exactly `v > 0 ? v : +0` (NaN and -0 map to +0) on every SIMD
+ * level — see BiasReluRowFn in common/simd.hh. Fusing avoids a
+ * second pass over the output, and for the deconv transformation is
+ * exact per sub-convolution because sub-convolutions write disjoint
+ * output phases.
+ */
+struct ConvEpilogue
+{
+    const float *bias = nullptr; //!< per-filter bias [K], or nullptr
+    bool relu = false;           //!< clamp negatives (and NaN) to +0
+};
+
 /** Output shape of convNd for the given input/weight/spec. */
 Shape convOutShape(const Shape &input, const Shape &weight,
                    const ConvSpec &spec);
@@ -90,6 +117,30 @@ Tensor convNd(const Tensor &input, const Tensor &weight,
 Tensor convNd(const Tensor &input, const Tensor &weight,
               const ConvSpec &spec, ConvOp op = ConvOp::MAC,
               ConvStats *stats = nullptr);
+
+/**
+ * MAC convolution with a fused bias+ReLU epilogue. Routes like
+ * convNd: the f32 GEMM path when @p stats is null, the reference
+ * loop (epilogue applied afterwards with the dispatched kernel)
+ * when op counts are requested.
+ */
+Tensor convNd(const Tensor &input, const Tensor &weight,
+              const ConvSpec &spec, const ConvEpilogue &epilogue,
+              ConvStats *stats, const ExecContext &ctx);
+
+/**
+ * MAC convolution into a preallocated output — the zero-allocation
+ * fast path behind dnn::NetworkRuntime. Always the f32 GEMM route:
+ * im2col (or direct for pointwise stride-1 unpadded layers) into
+ * BufferPool scratch from @p ctx, then one dispatched gemmRow per
+ * filter, with the optional fused epilogue. @p out must already have
+ * shape convOutShape(...); its prior contents are overwritten (no
+ * pre-zeroing needed). Performs no heap allocations once @p ctx's
+ * BufferPool has warmed up. Supports 1-4 spatial dims.
+ */
+void convNdInto(const Tensor &input, const Tensor &weight,
+                const ConvSpec &spec, const ConvEpilogue *epilogue,
+                const ExecContext &ctx, Tensor &out);
 
 } // namespace asv::tensor
 

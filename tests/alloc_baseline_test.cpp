@@ -4,8 +4,9 @@
  *
  * Measures, with asv::debug::AllocScope, how many heap allocations
  * one warm compute() of each registry engine performs (BM, SGM, and
- * the guided refiner on its guided path), and diffs the counts
- * against the committed BASELINE_alloc.json.
+ * the guided refiner on its guided path), plus one warm
+ * dnn::NetworkRuntime::forward() frame of a conv+deconv network, and
+ * diffs the counts against the committed BASELINE_alloc.json.
  *
  * With the BufferPool arena in place the contract is *exact*: a
  * pooled engine (baseline allocsPerFrame == 0) must perform zero
@@ -37,7 +38,10 @@
 #include "common/thread_pool.hh"
 #include "data/scene.hh"
 #include "debug/alloc_tracker.hh"
+#include "dnn/network.hh"
+#include "dnn/runtime.hh"
 #include "stereo/matcher.hh"
+#include "tensor/tensor.hh"
 
 namespace
 {
@@ -91,7 +95,7 @@ readBaseline(const std::string &path)
     };
 
     std::map<std::string, EngineBaseline> out;
-    for (const char *engine : {"bm", "sgm", "guided"}) {
+    for (const char *engine : {"bm", "sgm", "guided", "dnn"}) {
         std::string key = "\"";
         key += engine;
         key += '"';
@@ -247,6 +251,23 @@ class AllocBaseline : public ::testing::Test
             (void)guided->computeGuided(f.left, f.right,
                                         f.gtDisparity, ctx_);
         });
+
+        // The DNN path: conv -> relu -> deconv (k4 s2 p1) -> relu ->
+        // conv through the f32 GEMM route. The runtime preallocates
+        // everything; forward() only touches the pooled im2col
+        // scratch, so the steady-state contract is the same exact
+        // zero as the stereo engines.
+        dnn::NetworkBuilder nb("alloc", 8, {12, 16});
+        nb.conv("c1", 16, 3, 1, 1, dnn::Stage::FeatureExtraction);
+        nb.activation("r1");
+        nb.deconv("d1", 8, 4, 2, 1, dnn::Stage::DisparityRefinement);
+        nb.activation("r2");
+        nb.conv("c2", 4, 3, 1, 1, dnn::Stage::DisparityRefinement);
+        dnn::NetworkRuntime rt(nb.build(), 5);
+        tensor::Tensor dnn_in = tensor::Tensor::iota(rt.inputShape());
+        m["dnn"] = measure([&] {
+            (void)rt.forward(dnn_in, ctx_);
+        });
         return m;
     }
 
@@ -274,7 +295,7 @@ TEST_F(AllocBaseline, SteadyStateCountsMatchCommittedBaseline)
     }
 
     const auto baseline = readBaseline(baselinePath());
-    ASSERT_EQ(3u, baseline.size())
+    ASSERT_EQ(4u, baseline.size())
         << "missing or unparsable " << baselinePath()
         << " — regenerate with ASV_ALLOC_BASELINE_WRITE=1";
 

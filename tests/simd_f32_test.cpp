@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Property tests for the f32 DNN-path SIMD kernels (gemmRow /
+ * biasReluRow) and everything routed through them: the convNd GEMM
+ * route, the fused transformedDeconv epilogue, and the
+ * dnn::NetworkRuntime end-to-end path.
+ *
+ * The contract under test is docs/KERNELS.md's f32 contract:
+ *  - tables with fusedF32 == true (scalar, AVX2+FMA, NEON) replay
+ *    the scalar std::fmaf accumulation chain bit-exactly for finite
+ *    inputs, across odd widths, non-lane-multiple reductions,
+ *    denormals, and worker counts;
+ *  - tables with fusedF32 == false (SSE4.2) round twice per step and
+ *    agree to relative tolerance only — the one documented carve-out;
+ *  - NaN *positions* propagate identically everywhere (payload bits
+ *    may differ between software fmaf and hardware FMA);
+ *  - biasReluRow is bit-identical on every level, and its ReLU sends
+ *    NaN, -0 and -inf to +0 (`v > 0 ? v : +0`);
+ *  - NetworkRuntime::forward is allocation-free in the steady state
+ *    and equivalent to the zero-insertion double-accumulation
+ *    reference within an explicit tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/exec_context.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "common/thread_pool.hh"
+#include "debug/alloc_tracker.hh"
+#include "deconv/transform.hh"
+#include "dnn/network.hh"
+#include "dnn/runtime.hh"
+#include "tensor/conv.hh"
+#include "tensor/deconv.hh"
+#include "tensor/tensor.hh"
+
+namespace
+{
+
+using namespace asv;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<simd::Level>
+supportedLevels()
+{
+    std::vector<simd::Level> levels;
+    for (simd::Level level :
+         {simd::Level::Scalar, simd::Level::Sse42, simd::Level::Avx2,
+          simd::Level::Neon}) {
+        if (simd::levelSupported(level))
+            levels.push_back(level);
+    }
+    return levels;
+}
+
+/** Force a SIMD level for one scope; restores the previous level. */
+class LevelGuard
+{
+  public:
+    explicit LevelGuard(simd::Level level)
+        : previous_(simd::activeLevel())
+    {
+        simd::setLevel(level);
+    }
+    ~LevelGuard() { simd::setLevel(previous_); }
+
+  private:
+    simd::Level previous_;
+};
+
+std::vector<float>
+randomVec(size_t n, Rng &rng, double lo = -1.0, double hi = 1.0)
+{
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = static_cast<float>(rng.uniformReal(lo, hi));
+    return v;
+}
+
+Tensor
+randomTensor(const Shape &shape, Rng &rng, double lo = -1.0,
+             double hi = 1.0)
+{
+    Tensor t(shape);
+    for (int64_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(rng.uniformReal(lo, hi));
+    return t;
+}
+
+void
+expectBitEqual(const float *a, const float *b, size_t n,
+               const std::string &what)
+{
+    for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<uint32_t>(a[i]),
+                  std::bit_cast<uint32_t>(b[i]))
+            << what << ": element " << i << ": " << a[i]
+            << " != " << b[i];
+    }
+}
+
+void
+expectNear(const float *a, const float *b, size_t n, double rtol,
+           double atol, const std::string &what)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const double tol =
+            atol + rtol * std::max(std::abs(double(a[i])),
+                                   std::abs(double(b[i])));
+        ASSERT_NEAR(a[i], b[i], tol)
+            << what << ": element " << i;
+    }
+}
+
+// ---------------------------------------------------------------- gemmRow
+
+TEST(GemmRow, MatchesScalarAcrossShapes)
+{
+    Rng rng(7);
+    const simd::Kernels *scalar =
+        simd::kernelsFor(simd::Level::Scalar);
+    ASSERT_NE(scalar, nullptr);
+
+    for (int k : {1, 2, 3, 7, 16, 65}) {
+        for (int n : {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33,
+                      64}) {
+            const int64_t ldb = n + 3; // exercise ldb != n
+            const std::vector<float> a = randomVec(size_t(k), rng);
+            const std::vector<float> b =
+                randomVec(size_t(k) * size_t(ldb), rng);
+            std::vector<float> want(size_t(n), -777.0f);
+            scalar->gemmRow(a.data(), k, b.data(), ldb, want.data(),
+                            n);
+            for (const simd::Kernels *t :
+                 {simd::kernelsFor(simd::Level::Sse42),
+                  simd::kernelsFor(simd::Level::Avx2),
+                  simd::kernelsFor(simd::Level::Neon)}) {
+                if (!t)
+                    continue;
+                // Pre-poison: gemmRow writes, it must not accumulate.
+                std::vector<float> got(size_t(n), 1e30f);
+                t->gemmRow(a.data(), k, b.data(), ldb, got.data(),
+                           n);
+                const std::string what = std::string(t->name) +
+                                         " k=" + std::to_string(k) +
+                                         " n=" + std::to_string(n);
+                if (t->fusedF32) {
+                    expectBitEqual(got.data(), want.data(),
+                                   size_t(n), what);
+                } else {
+                    // Documented tolerance lane: two roundings per
+                    // step instead of one.
+                    expectNear(got.data(), want.data(), size_t(n),
+                               1e-5 * k, 1e-7, what);
+                }
+            }
+        }
+    }
+}
+
+TEST(GemmRow, NaNPositionsPropagate)
+{
+    Rng rng(11);
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const int k = 9;
+    const int n = 13;
+    for (const simd::Kernels *t :
+         {simd::kernelsFor(simd::Level::Scalar),
+          simd::kernelsFor(simd::Level::Sse42),
+          simd::kernelsFor(simd::Level::Avx2),
+          simd::kernelsFor(simd::Level::Neon)}) {
+        if (!t)
+            continue;
+        // NaN in one B column: only that output is NaN.
+        std::vector<float> a = randomVec(size_t(k), rng);
+        std::vector<float> b = randomVec(size_t(k) * size_t(n), rng);
+        b[size_t(3) * n + 5] = nan;
+        std::vector<float> out(static_cast<size_t>(n));
+        t->gemmRow(a.data(), k, b.data(), n, out.data(), n);
+        for (int j = 0; j < n; ++j)
+            EXPECT_EQ(j == 5, std::isnan(out[j]))
+                << t->name << " column " << j;
+        // NaN in A: every output is NaN.
+        a[2] = nan;
+        t->gemmRow(a.data(), k, b.data(), n, out.data(), n);
+        for (int j = 0; j < n; ++j)
+            EXPECT_TRUE(std::isnan(out[j])) << t->name << " " << j;
+    }
+}
+
+TEST(GemmRow, DenormalsStayExactOnFusedLanes)
+{
+    Rng rng(13);
+    const int k = 8;
+    const int n = 19;
+    // Products around 1e-39..1e-41: results live in the denormal
+    // range. No FTZ/DAZ anywhere (no -ffast-math), so fused lanes
+    // must still match the scalar chain bit-for-bit.
+    std::vector<float> a = randomVec(size_t(k), rng, 1e-20, 2e-20);
+    std::vector<float> b =
+        randomVec(size_t(k) * size_t(n), rng, -2e-20, 2e-20);
+    const simd::Kernels *scalar =
+        simd::kernelsFor(simd::Level::Scalar);
+    std::vector<float> want(static_cast<size_t>(n));
+    scalar->gemmRow(a.data(), k, b.data(), n, want.data(), n);
+    bool any_denormal = false;
+    for (float w : want)
+        any_denormal = any_denormal ||
+                       (w != 0.0f && std::abs(w) <
+                                         std::numeric_limits<
+                                             float>::min());
+    EXPECT_TRUE(any_denormal) << "test inputs failed to produce "
+                                 "denormal outputs";
+    for (const simd::Kernels *t :
+         {simd::kernelsFor(simd::Level::Sse42),
+          simd::kernelsFor(simd::Level::Avx2),
+          simd::kernelsFor(simd::Level::Neon)}) {
+        if (!t)
+            continue;
+        std::vector<float> got(static_cast<size_t>(n));
+        t->gemmRow(a.data(), k, b.data(), n, got.data(), n);
+        if (t->fusedF32) {
+            expectBitEqual(got.data(), want.data(), size_t(n),
+                           std::string(t->name) + " denormal");
+        } else {
+            for (int j = 0; j < n; ++j)
+                EXPECT_NEAR(got[j], want[j], 1e-42)
+                    << t->name << " " << j;
+        }
+    }
+}
+
+// ------------------------------------------------------------ biasReluRow
+
+TEST(BiasReluRow, BitIdenticalOnEveryLevel)
+{
+    Rng rng(17);
+    const simd::Kernels *scalar =
+        simd::kernelsFor(simd::Level::Scalar);
+    for (int n : {1, 3, 4, 7, 8, 9, 16, 33}) {
+        for (float bias : {0.0f, 0.5f, -0.25f}) {
+            for (bool relu : {false, true}) {
+                const std::vector<float> in =
+                    randomVec(size_t(n), rng, -2.0, 2.0);
+                std::vector<float> want = in;
+                scalar->biasReluRow(want.data(), n, bias, relu);
+                for (const simd::Kernels *t :
+                     {simd::kernelsFor(simd::Level::Sse42),
+                      simd::kernelsFor(simd::Level::Avx2),
+                      simd::kernelsFor(simd::Level::Neon)}) {
+                    if (!t)
+                        continue;
+                    std::vector<float> got = in;
+                    t->biasReluRow(got.data(), n, bias, relu);
+                    expectBitEqual(
+                        got.data(), want.data(), size_t(n),
+                        std::string(t->name) +
+                            " bias=" + std::to_string(bias) +
+                            " relu=" + std::to_string(relu));
+                }
+            }
+        }
+    }
+}
+
+TEST(BiasReluRow, ReluSendsNaNNegZeroAndNegInfToPlusZero)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    const float denorm =
+        std::numeric_limits<float>::denorm_min();
+    const std::vector<float> in = {nan,     -nan, -0.0f,  0.0f,
+                                   -1.0f,   2.0f, denorm, -denorm,
+                                   -inf,    inf,  0.25f,  -0.25f};
+    for (const simd::Kernels *t :
+         {simd::kernelsFor(simd::Level::Scalar),
+          simd::kernelsFor(simd::Level::Sse42),
+          simd::kernelsFor(simd::Level::Avx2),
+          simd::kernelsFor(simd::Level::Neon)}) {
+        if (!t)
+            continue;
+        std::vector<float> got = in;
+        t->biasReluRow(got.data(), static_cast<int>(got.size()),
+                       0.0f, /*relu=*/true);
+        const std::vector<float> want = {0.0f,   0.0f, 0.0f, 0.0f,
+                                         0.0f,   2.0f, denorm, 0.0f,
+                                         0.0f,   inf,  0.25f,  0.0f};
+        expectBitEqual(got.data(), want.data(), got.size(),
+                       std::string(t->name) + " relu specials");
+        // Without relu, NaN must survive (position, not payload).
+        got = in;
+        t->biasReluRow(got.data(), static_cast<int>(got.size()),
+                       1.0f, /*relu=*/false);
+        EXPECT_TRUE(std::isnan(got[0])) << t->name;
+        EXPECT_TRUE(std::isnan(got[1])) << t->name;
+        EXPECT_EQ(got[5], 3.0f) << t->name;
+    }
+}
+
+// ----------------------------------------------------------- convNd route
+
+TEST(ConvGemmRoute, MatchesDoubleAccumulationReference)
+{
+    Rng rng(23);
+    ThreadPool pool(2);
+    BufferPool buffers;
+    ExecContext ctx(pool, buffers);
+
+    struct Case
+    {
+        Shape in, w;
+        int64_t stride, pad;
+    };
+    // Odd spatial extents, non-lane-multiple channels, pointwise
+    // (direct route), strided and padded variants.
+    const std::vector<Case> cases = {
+        {{3, 17, 13}, {5, 3, 3, 3}, 1, 1},
+        {{1, 9, 7}, {1, 1, 3, 2}, 2, 0},
+        {{4, 12, 10}, {2, 4, 1, 1}, 1, 0}, // 1x1 s1 p0: direct
+        {{7, 5, 5}, {3, 7, 5, 5}, 1, 2},
+        {{2, 21}, {3, 2, 4}, 3, 1},        // 1-D
+    };
+    for (const auto &[in_shape, w_shape, stride, pad] : cases) {
+        const int nd = static_cast<int>(in_shape.size()) - 1;
+        const Tensor in = randomTensor(in_shape, rng);
+        const Tensor w = randomTensor(w_shape, rng);
+        const auto spec = tensor::ConvSpec::uniform(nd, stride, pad);
+        const Tensor fast = tensor::convNd(
+            in, w, spec, tensor::ConvOp::MAC, nullptr, ctx);
+        tensor::ConvStats stats;
+        const Tensor ref = tensor::convNd(
+            in, w, spec, tensor::ConvOp::MAC, &stats, ctx);
+        ASSERT_EQ(fast.shape(), ref.shape());
+        EXPECT_GT(stats.totalOps, 0);
+        EXPECT_TRUE(fast.allClose(ref, 1e-4))
+            << "max diff " << fast.maxAbsDiff(ref);
+    }
+}
+
+TEST(ConvGemmRoute, EpilogueMatchesManualBiasRelu)
+{
+    Rng rng(29);
+    ThreadPool pool(2);
+    BufferPool buffers;
+    ExecContext ctx(pool, buffers);
+    const Tensor in = randomTensor({3, 11, 9}, rng);
+    const Tensor w = randomTensor({4, 3, 3, 3}, rng);
+    const auto spec = tensor::ConvSpec::uniform(2, 1, 1);
+    const std::vector<float> bias = randomVec(4, rng);
+
+    tensor::ConvEpilogue epi;
+    epi.bias = bias.data();
+    epi.relu = true;
+    const Tensor fused =
+        tensor::convNd(in, w, spec, epi, nullptr, ctx);
+
+    Tensor manual = tensor::convNd(in, w, spec, tensor::ConvOp::MAC,
+                                   nullptr, ctx);
+    const int64_t P = manual.size() / manual.dim(0);
+    for (int64_t f = 0; f < manual.dim(0); ++f) {
+        for (int64_t j = 0; j < P; ++j) {
+            float &v = manual.data()[f * P + j];
+            v += bias[size_t(f)];
+            v = v > 0.0f ? v : 0.0f;
+        }
+    }
+    // Same route + exact epilogue ops: bitwise.
+    expectBitEqual(fused.data(), manual.data(), size_t(fused.size()),
+                   "fused epilogue");
+}
+
+TEST(ConvGemmRoute, CrossLevelAndThreadIdentity)
+{
+    Rng rng(31);
+    const Tensor in = randomTensor({5, 14, 11}, rng);
+    const Tensor w = randomTensor({6, 5, 3, 3}, rng);
+    const auto spec = tensor::ConvSpec::uniform(2, 1, 1);
+
+    Tensor want;
+    {
+        LevelGuard g(simd::Level::Scalar);
+        ThreadPool serial(1);
+        BufferPool buffers;
+        want = tensor::convNd(in, w, spec, tensor::ConvOp::MAC,
+                              nullptr,
+                              ExecContext(serial, buffers));
+    }
+    for (simd::Level level : supportedLevels()) {
+        LevelGuard g(level);
+        const bool fused = simd::kernelsFor(level)->fusedF32;
+        for (int threads : {1, 3}) {
+            ThreadPool pool(threads);
+            BufferPool buffers;
+            const Tensor got =
+                tensor::convNd(in, w, spec, tensor::ConvOp::MAC,
+                               nullptr, ExecContext(pool, buffers));
+            const std::string what =
+                std::string(simd::levelName(level)) + " threads=" +
+                std::to_string(threads);
+            if (fused) {
+                expectBitEqual(got.data(), want.data(),
+                               size_t(got.size()), what);
+            } else {
+                expectNear(got.data(), want.data(),
+                           size_t(got.size()), 1e-5 * 45, 1e-7,
+                           what);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- transformedDeconv
+
+TEST(TransformedDeconvF32, FusedEpilogueMatchesSeparatePass)
+{
+    Rng rng(37);
+    ThreadPool pool(2);
+    BufferPool buffers;
+    ExecContext ctx(pool, buffers);
+    const Tensor in = randomTensor({3, 9, 7}, rng);
+    const Tensor w = randomTensor({4, 3, 4, 4}, rng);
+    const auto spec = tensor::DeconvSpec::uniform(2, 2, 1);
+    const std::vector<float> bias = randomVec(4, rng);
+
+    tensor::ConvEpilogue epi;
+    epi.bias = bias.data();
+    epi.relu = true;
+    const Tensor fused =
+        deconv::transformedDeconv(in, w, spec, epi, nullptr, ctx);
+
+    Tensor manual =
+        deconv::transformedDeconv(in, w, spec, nullptr, ctx);
+    const int64_t P = manual.size() / manual.dim(0);
+    for (int64_t f = 0; f < manual.dim(0); ++f) {
+        for (int64_t j = 0; j < P; ++j) {
+            float &v = manual.data()[f * P + j];
+            v += bias[size_t(f)];
+            v = v > 0.0f ? v : 0.0f;
+        }
+    }
+    // Disjoint-phase fusion is exact: bitwise.
+    expectBitEqual(fused.data(), manual.data(), size_t(fused.size()),
+                   "fused deconv epilogue");
+}
+
+// --------------------------------------------------------- NetworkRuntime
+
+dnn::Network
+makeTestNet()
+{
+    dnn::NetworkBuilder nb("e2e", 6, {11, 13});
+    nb.conv("c1", 8, 3, 1, 1, dnn::Stage::FeatureExtraction);
+    nb.activation("r1");
+    nb.deconv("d1", 4, 4, 2, 1, dnn::Stage::DisparityRefinement);
+    nb.activation("r2");
+    nb.conv("c2", 3, 3, 1, 1, dnn::Stage::DisparityRefinement);
+    nb.pool("p1", 2, 2);
+    return nb.build();
+}
+
+TEST(NetworkRuntime, ForwardMatchesZeroInsertionReference)
+{
+    ThreadPool pool(2);
+    BufferPool buffers;
+    ExecContext ctx(pool, buffers);
+    dnn::NetworkRuntime rt(makeTestNet(), 42);
+    EXPECT_EQ(rt.numSteps(), 4u); // two activations fused away
+
+    Rng rng(41);
+    const Tensor in = randomTensor(rt.inputShape(), rng);
+    const Tensor &got = rt.forward(in, ctx);
+    EXPECT_EQ(got.shape(), rt.outputShape());
+    const Tensor ref = rt.referenceForward(in, ctx);
+    ASSERT_EQ(got.shape(), ref.shape());
+    // f32 FMA chains vs double accumulation: tolerance, not bits.
+    EXPECT_TRUE(got.allClose(ref, 1e-3))
+        << "max diff " << got.maxAbsDiff(ref);
+}
+
+TEST(NetworkRuntime, EmptyDeconvPhaseGetsEpilogueOfZero)
+{
+    // k=2, s=3: one output phase per dim has no kernel taps — its
+    // positions must still receive relu(0 + bias).
+    ThreadPool pool(2);
+    BufferPool buffers;
+    ExecContext ctx(pool, buffers);
+    dnn::NetworkBuilder nb("empty-phase", 2, {5, 5});
+    nb.deconv("d", 3, 2, 3, 0, dnn::Stage::DisparityRefinement);
+    nb.activation("r");
+    dnn::NetworkRuntime rt(nb.build(), 7);
+
+    Rng rng(43);
+    const Tensor in = randomTensor(rt.inputShape(), rng);
+    const Tensor &got = rt.forward(in, ctx);
+    const Tensor ref = rt.referenceForward(in, ctx);
+    EXPECT_TRUE(got.allClose(ref, 1e-4))
+        << "max diff " << got.maxAbsDiff(ref);
+}
+
+TEST(NetworkRuntime, BitIdenticalAcrossWorkerCountsAndFusedLevels)
+{
+    dnn::NetworkRuntime rt(makeTestNet(), 42);
+    Rng rng(47);
+    const Tensor in = randomTensor(rt.inputShape(), rng);
+
+    Tensor want;
+    {
+        LevelGuard g(simd::Level::Scalar);
+        ThreadPool serial(1);
+        BufferPool buffers;
+        want = rt.forward(in, ExecContext(serial, buffers));
+    }
+    for (simd::Level level : supportedLevels()) {
+        LevelGuard g(level);
+        const bool fused = simd::kernelsFor(level)->fusedF32;
+        for (int threads : {1, 4}) {
+            ThreadPool pool(threads);
+            BufferPool buffers;
+            const Tensor &got =
+                rt.forward(in, ExecContext(pool, buffers));
+            const std::string what =
+                std::string(simd::levelName(level)) + " threads=" +
+                std::to_string(threads);
+            if (fused) {
+                expectBitEqual(got.data(), want.data(),
+                               size_t(got.size()), what);
+            } else {
+                expectNear(got.data(), want.data(),
+                           size_t(got.size()), 1e-4, 1e-6, what);
+            }
+        }
+    }
+}
+
+TEST(NetworkRuntime, SteadyStateIsAllocationFree)
+{
+    ThreadPool pool(2);
+    BufferPool buffers;
+    ExecContext ctx(pool, buffers);
+    dnn::NetworkRuntime rt(makeTestNet(), 42);
+    Rng rng(53);
+    const Tensor in = randomTensor(rt.inputShape(), rng);
+
+    // Warm the BufferPool (im2col scratch) and any lazy init.
+    rt.forward(in, ctx);
+    rt.forward(in, ctx);
+
+    debug::AllocScope scope;
+    rt.forward(in, ctx);
+    EXPECT_EQ(scope.counts().allocs, 0u)
+        << "DNN steady-state frame allocated";
+}
+
+} // namespace
